@@ -1,0 +1,59 @@
+// Ablation of the two knobs the next-generation clustering adds over [15]
+// (Sec. V-A): the lambda parameter and the user-chosen cluster count N_c.
+// Emits the full lambda-vs-speedup curve (the preprocessing sweep) for both
+// scenarios and the speedup as a function of N_c, plus the cost of the
+// neighbor-rate normalization.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "lts/clustering.hpp"
+
+using namespace nglts;
+
+namespace {
+
+void sweepScenario(const char* name, const mesh::TetMesh& mesh,
+                   const std::vector<physics::Material>& mats, int_t nc) {
+  const auto geo = mesh::computeGeometry(mesh);
+  const auto dt = lts::cflTimeSteps(geo, mats, 5);
+  std::printf("=== %s (%lld elements, Nc = %d) ===\n", name,
+              static_cast<long long>(mesh.numElements()), nc);
+
+  const auto sweep = lts::optimizeLambda(mesh, dt, nc);
+  Table curve({"lambda", "theoretical speedup"});
+  for (std::size_t i = 0; i < sweep.lambdas.size(); ++i)
+    curve.addRow({formatNumber(sweep.lambdas[i], "%.2f"),
+                  formatNumber(sweep.speedups[i], "%.4f")});
+  curve.writeCsv(std::string("ablation_lambda_") + name + ".csv");
+  std::printf("best lambda %.2f -> %.3fx; lambda=1.00 -> %.3fx (gain %.1f%%)\n",
+              sweep.bestLambda, sweep.bestSpeedup, sweep.speedups.back(),
+              100.0 * (sweep.bestSpeedup / sweep.speedups.back() - 1.0));
+
+  Table byNc({"Nc", "speedup (best lambda)", "normalization loss %"});
+  for (int_t n = 1; n <= 6; ++n) {
+    const auto s = lts::optimizeLambda(mesh, dt, n);
+    const auto cn = lts::buildClustering(mesh, dt, n, s.bestLambda, true);
+    const auto cu = lts::buildClustering(mesh, dt, n, s.bestLambda, false);
+    byNc.addRow({std::to_string(n), formatNumber(s.bestSpeedup, "%.3f"),
+                 formatNumber(100.0 * (1.0 - cn.theoreticalSpeedup / cu.theoreticalSpeedup),
+                              "%.2f")});
+  }
+  std::printf("%s\n", byNc.str().c_str());
+  byNc.writeCsv(std::string("ablation_nc_") + name + ".csv");
+}
+
+} // namespace
+
+int main() {
+  const double scale = bench::benchScale();
+  {
+    bench::Loh3Scenario sc(scale);
+    sweepScenario("loh3", sc.mesh, sc.materials, 3);
+  }
+  {
+    bench::LaHabraScenario sc(scale);
+    sweepScenario("lahabra", sc.mesh, sc.materials, 5);
+  }
+  return 0;
+}

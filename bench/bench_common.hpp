@@ -1,0 +1,121 @@
+#pragma once
+// Shared scenario builders for the reproduction benches. Scales are chosen
+// so the full bench suite runs in minutes on a workstation; set
+// NGLTS_BENCH_SCALE=2 (or higher) in the environment for larger runs.
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mesh/box_gen.hpp"
+#include "mesh/geometry.hpp"
+#include "physics/attenuation.hpp"
+#include "seismo/velocity_model.hpp"
+
+namespace nglts::bench {
+
+inline double benchScale() {
+  const char* s = std::getenv("NGLTS_BENCH_SCALE");
+  return s ? std::atof(s) : 1.0;
+}
+
+/// LOH.3 domain of the paper scaled down: a slow layer over a fast halfspace
+/// with velocity-aware vertical grading (finer planes in the layer) and
+/// jitter — reproduces the bimodal-with-tails dt density of Fig. 4.
+struct Loh3Scenario {
+  mesh::TetMesh mesh;
+  std::vector<physics::Material> materials;
+  seismo::Loh3Model model{0.0};
+
+  explicit Loh3Scenario(double scale = 1.0, int_t mechanisms = 3, double fCentral = 1.0) {
+    // The paper's LOH.3 meshes are velocity-aware *inside* the region of
+    // interest (layer 1.732x finer than the halfspace) and coarsen away from
+    // it; together with unstructured element quality this produces the 1..8x
+    // dt/dtMin spread of Fig. 4. We reproduce both effects: ROI-focused
+    // lateral grading plus vertex jitter.
+    const double ext = 8000.0; // m, horizontal extent
+    const double depth = 4000.0;
+    const double hLayer = 280.0 / scale;  // layer resolution (vs 2000)
+    const double hHalf = 485.0 / scale;   // halfspace resolution (vs 3464)
+    auto lateral = [&](double x) {
+      // Fine in the central ROI, growing ~2.5x toward the absorbing edges.
+      const double d = std::fabs(x - 0.5 * ext) / (0.5 * ext); // 0 center, 1 edge
+      const double grow = 1.0 + 2.2 * std::max(0.0, d - 0.3) / 0.7;
+      return hHalf * grow;
+    };
+    mesh::BoxSpec spec;
+    spec.planes[0] = mesh::gradedPlanes(0.0, ext, lateral);
+    spec.planes[1] = mesh::gradedPlanes(0.0, ext, lateral);
+    spec.planes[2] = mesh::gradedPlanes(-depth, 0.0, [&](double z) {
+      if (z > -seismo::Loh3Model::kLayerThickness) return hLayer;
+      const double d = (-z - seismo::Loh3Model::kLayerThickness) / (depth - 1000.0);
+      return hHalf * (1.0 + 2.2 * std::max(0.0, d - 0.3) / 0.7);
+    });
+    spec.jitter = 0.25; // emulates the quality spread of unstructured meshes
+    spec.freeSurfaceTop = true;
+    mesh = mesh::generateBox(spec);
+    // Localized source-region refinement: contract vertices radially toward
+    // the source point. A tiny element population (<1%) ends up ~2x finer
+    // and sets dt_min — placing the mesh bulk at 2-4x dt_min, the structure
+    // behind Fig. 4's clustering (C1 holds only ~2% of the elements).
+    const std::array<double, 3> src = {0.5 * ext, 0.5 * ext, -2000.0};
+    const double radius = 1500.0, alpha = 0.85;
+    for (auto& v : mesh.vertices) {
+      double r2 = 0.0;
+      for (int_t d = 0; d < 3; ++d) r2 += (v[d] - src[d]) * (v[d] - src[d]);
+      const double r = std::sqrt(r2);
+      if (r >= radius || r == 0.0) continue;
+      const double shrink = 1.0 - alpha * (1.0 - r / radius);
+      for (int_t d = 0; d < 3; ++d) v[d] = src[d] + (v[d] - src[d]) * shrink;
+    }
+    model = seismo::Loh3Model(0.0);
+    materials = seismo::materialsForMesh(mesh, model, mechanisms, fCentral);
+  }
+};
+
+/// La Habra-like scenario: synthetic basin + topography-like modulation with
+/// a wide velocity range (vs 250 .. 3500), yielding the ~decade-wide dt
+/// spread and the Nc = 5 clustering of Fig. 5.
+struct LaHabraScenario {
+  mesh::TetMesh mesh;
+  std::vector<physics::Material> materials;
+  std::unique_ptr<seismo::LaHabraLikeModel> model;
+
+  explicit LaHabraScenario(double scale = 1.0, int_t mechanisms = 0, double fCentral = 1.0) {
+    seismo::LaHabraLikeModel::Params p;
+    p.zTop = 0.0;
+    p.basinCenter = {12000.0, 12000.0};
+    model = std::make_unique<seismo::LaHabraLikeModel>(p);
+    const double ext = 24000.0, depth = 8000.0;
+    // Velocity-aware grading in all three directions (2 elements/wavelength
+    // at fCentral against the plane-minimum vs).
+    auto planeMinVs = [&](int_t axis, double t) {
+      double vsMin = 1e300;
+      for (int_t i = 0; i <= 6; ++i)
+        for (int_t j = 0; j <= 6; ++j) {
+          std::array<double, 3> x;
+          x[axis] = t;
+          x[(axis + 1) % 3] = (axis + 1) % 3 == 2 ? -depth * i / 6.0 : ext * i / 6.0;
+          x[(axis + 2) % 3] = (axis + 2) % 3 == 2 ? -depth * j / 6.0 : ext * j / 6.0;
+          vsMin = std::min(vsMin, model->at(x).vs);
+        }
+      return vsMin;
+    };
+    mesh::BoxSpec spec;
+    for (int_t a = 0; a < 3; ++a) {
+      const double lo = a == 2 ? -depth : 0.0;
+      const double hi = a == 2 ? 0.0 : ext;
+      spec.planes[a] = mesh::gradedPlanes(lo, hi, [&](double t) {
+        const double vs = planeMinVs(a, t);
+        return std::clamp(vs / fCentral / (2.0 * scale), 120.0 / scale, 2400.0 / scale);
+      });
+    }
+    spec.jitter = 0.22;
+    spec.freeSurfaceTop = true;
+    mesh = mesh::generateBox(spec);
+    materials = seismo::materialsForMesh(mesh, *model, mechanisms, fCentral);
+  }
+};
+
+} // namespace nglts::bench

@@ -1,0 +1,97 @@
+// Reproduces Fig. 10: strong scaling of the next-generation LTS scheme.
+// The paper scales a single simulation from 24 to 1,536 Frontera nodes with
+// > 80% parallel efficiency (> 95% in the headline range) and reports a
+// 10.37x per-simulation speedup when combining LTS and 16-fold fusion
+// against single-simulation GTS on the same node count. Here ranks are
+// std::threads of the distributed driver (message-passing, face-local
+// compression on), and the combined speedup uses the shared-memory solver.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "lts/clustering.hpp"
+#include "parallel/dist_sim.hpp"
+#include "partition/dual_graph.hpp"
+#include "partition/partitioner.hpp"
+#include "solver/simulation.hpp"
+
+using namespace nglts;
+
+namespace {
+
+void pulse(const std::array<double, 3>& x, int_t, double* q9) {
+  for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
+  const double r2 = (x[0] - 12000.0) * (x[0] - 12000.0) +
+                    (x[1] - 12000.0) * (x[1] - 12000.0) + (x[2] + 2500.0) * (x[2] + 2500.0);
+  q9[kVelW] = std::exp(-r2 / 4e6);
+}
+
+} // namespace
+
+int main() {
+  const double scale = bench::benchScale();
+  bench::LaHabraScenario sc(0.33 * scale);
+  const auto geo = mesh::computeGeometry(sc.mesh);
+  const auto dt = lts::cflTimeSteps(geo, sc.materials, 4);
+  const auto sweep = lts::optimizeLambda(sc.mesh, dt, 4);
+  const auto clustering = lts::buildClustering(sc.mesh, dt, 4, sweep.bestLambda);
+  const auto graph = partition::buildDualGraph(sc.mesh, clustering);
+  std::printf("strong scaling mesh: %lld elements, lambda %.2f, theoretical LTS %.2fx\n\n",
+              static_cast<long long>(sc.mesh.numElements()), sweep.bestLambda,
+              clustering.theoreticalSpeedup);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int_t> rankCounts = {1, 2, 4};
+  if (hw >= 8) rankCounts.push_back(8);
+  if (hw >= 16) rankCounts.push_back(16);
+
+  Table table({"ranks", "wall s", "updates/s", "speedup", "parallel efficiency", "MB sent"});
+  double base = 0.0;
+  for (int_t ranks : rankCounts) {
+    const auto parts = partition::partitionGraph(graph, sc.mesh, ranks);
+    parallel::DistConfig cfg;
+    cfg.order = 4;
+    cfg.numClusters = 4;
+    cfg.lambda = sweep.bestLambda;
+    cfg.compressFaces = true;
+    cfg.threaded = ranks > 1;
+    parallel::DistributedSimulation<float, 1> sim(sc.mesh, sc.materials, parts.part, cfg);
+    sim.setInitialCondition(pulse);
+    sim.run(sim.cycleDt()); // warm-up
+    const auto st = sim.run(4.0 * sim.cycleDt());
+    if (base == 0.0) base = st.seconds;
+    const double speedup = base / st.seconds;
+    table.addRow({std::to_string(ranks), formatNumber(st.seconds, "%.2f"),
+                  formatNumber(static_cast<double>(st.elementUpdates) / st.seconds, "%.3g"),
+                  formatNumber(speedup, "%.2f"), formatNumber(speedup / ranks, "%.2f"),
+                  formatNumber(st.commBytes / 1e6, "%.2f")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  table.writeCsv("fig10_scaling.csv");
+
+  // Combined LTS + fused speedup over single-simulation GTS (per simulation),
+  // the paper's 10.37x headline (shared-memory solver, all cores).
+  auto timePerSim = [&](solver::TimeScheme scheme, auto wTag, bool sparse) {
+    constexpr int W = decltype(wTag)::value;
+    bench::LaHabraScenario s2(0.28 * scale);
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.scheme = scheme;
+    cfg.numClusters = 4;
+    cfg.autoLambda = scheme != solver::TimeScheme::kGts;
+    cfg.sparseKernels = sparse;
+    solver::Simulation<float, W> sim(std::move(s2.mesh), std::move(s2.materials), cfg);
+    sim.setInitialCondition(pulse);
+    sim.run(sim.cycleDt());
+    const auto st = sim.run(8.0 * sim.cycleDt());
+    return st.seconds / st.simulatedTime / W;
+  };
+  const double gts1 = timePerSim(solver::TimeScheme::kGts, std::integral_constant<int, 1>{}, false);
+  const double lts16 =
+      timePerSim(solver::TimeScheme::kLtsNextGen, std::integral_constant<int, 16>{}, true);
+  std::printf("combined LTS + 16-fused per-simulation speedup over GTS single: %.2fx "
+              "(paper: 10.37x)\n",
+              gts1 / lts16);
+  return 0;
+}

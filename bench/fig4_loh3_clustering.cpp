@@ -1,0 +1,59 @@
+// Reproduces Fig. 4: the per-element CFL time-step density of the LOH.3
+// setting and the rate-2 clustering for lambda = 1.00 vs lambda = 0.80,
+// including per-cluster element counts, load fractions, the theoretical
+// speedup over GTS and the lambda improvement (paper: 2.28x -> 2.67x,
+// +17.5%), plus the sub-1.5% normalization loss.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "lts/clustering.hpp"
+
+using namespace nglts;
+
+int main() {
+  const bench::Loh3Scenario sc(bench::benchScale());
+  const auto geo = mesh::computeGeometry(sc.mesh);
+  const auto dt = lts::cflTimeSteps(geo, sc.materials, 5);
+  std::printf("LOH.3-like setup: %lld tetrahedral elements\n\n",
+              static_cast<long long>(sc.mesh.numElements()));
+
+  // Time-step density (the solid line of Fig. 4): histogram of dt / dtMin.
+  const double dtMin = *std::min_element(dt.begin(), dt.end());
+  Table density({"dt/dtMin", "element density"});
+  const int_t bins = 24;
+  const double top = 8.0;
+  std::vector<double> hist(bins, 0.0);
+  for (double v : dt) {
+    const int_t b = std::min<int_t>(bins - 1, static_cast<int_t>((v / dtMin) / (top / bins)));
+    hist[b] += 1.0 / dt.size();
+  }
+  for (int_t b = 0; b < bins; ++b)
+    density.addRow({formatNumber((b + 0.5) * top / bins, "%.2f"), formatNumber(hist[b], "%.4f")});
+  std::printf("%s\n", density.str().c_str());
+  density.writeCsv("fig4_density.csv");
+
+  Table table({"lambda", "C1", "C2", "C3", "load C1", "load C2", "load C3",
+               "theoretical speedup", "norm. loss %"});
+  for (double lambda : {1.0, 0.8}) {
+    const auto c = lts::buildClustering(sc.mesh, dt, 3, lambda);
+    const auto cu = lts::buildClustering(sc.mesh, dt, 3, lambda, /*normalize=*/false);
+    const double loss = 100.0 * (1.0 - c.theoreticalSpeedup / cu.theoreticalSpeedup);
+    table.addRow({formatNumber(lambda, "%.2f"), std::to_string(c.clusterSize[0]),
+                  std::to_string(c.clusterSize[1]), std::to_string(c.clusterSize[2]),
+                  formatNumber(c.loadFraction[0], "%.3f"), formatNumber(c.loadFraction[1], "%.3f"),
+                  formatNumber(c.loadFraction[2], "%.3f"),
+                  formatNumber(c.theoreticalSpeedup, "%.2f"), formatNumber(loss, "%.2f")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  table.writeCsv("fig4_clustering.csv");
+
+  const auto s1 = lts::buildClustering(sc.mesh, dt, 3, 1.0);
+  const auto s2 = lts::buildClustering(sc.mesh, dt, 3, 0.8);
+  std::printf("lambda=0.80 improvement over lambda=1.00: %.1f%% (paper: 17.5%%)\n",
+              100.0 * (s2.theoreticalSpeedup / s1.theoreticalSpeedup - 1.0));
+  const auto sweep = lts::optimizeLambda(sc.mesh, dt, 3);
+  std::printf("lambda sweep best: lambda=%.2f speedup %.2fx\n", sweep.bestLambda,
+              sweep.bestSpeedup);
+  return 0;
+}

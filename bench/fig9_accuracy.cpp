@@ -1,0 +1,90 @@
+// Reproduces Fig. 9: GTS vs next-generation LTS seismograms for a LOH.3-like
+// anelastic run. The claim: the LTS and GTS solutions are nearly identical;
+// the seismogram misfit E (the paper's formula) stays tiny for LTS relative
+// to the GTS solution. We additionally write both traces and the difference
+// series (panels c/d) as CSV.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "seismo/misfit.hpp"
+#include "seismo/receiver.hpp"
+#include "seismo/source.hpp"
+#include "solver/simulation.hpp"
+
+using namespace nglts;
+using solver::Simulation;
+
+namespace {
+
+template <typename SimT>
+void setupScenario(SimT& sim) {
+  auto stf = std::make_shared<seismo::BrunePulse>(0.25, 1e15);
+  // Double-couple M_xy at depth (the LOH source), receiver on the surface at
+  // a LOH-like offset.
+  sim.addPointSource(
+      seismo::momentTensorSource({4000.0, 4000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
+  sim.addReceiver({6600.0, 5730.0, -10.0});
+}
+
+} // namespace
+
+int main() {
+  const double scale = bench::benchScale();
+  const double tEnd = 2.2;
+
+  solver::SimConfig base;
+  base.order = 4;
+  base.mechanisms = 3;
+  base.attenuationFreq = 1.0;
+  base.receiverSampleDt = 0.004;
+
+  Table table({"configuration", "cycles", "wall s", "speedup", "misfit E vs GTS"});
+  std::vector<double> ref;
+  double refSeconds = 0.0;
+
+  struct Cfg {
+    const char* name;
+    solver::TimeScheme scheme;
+    double lambda;
+  };
+  for (const Cfg& c : {Cfg{"GTS", solver::TimeScheme::kGts, 1.0},
+                       Cfg{"LTS lambda=1.00", solver::TimeScheme::kLtsNextGen, 1.0},
+                       Cfg{"LTS lambda=0.80", solver::TimeScheme::kLtsNextGen, 0.8}}) {
+    bench::Loh3Scenario sc(scale);
+    solver::SimConfig cfg = base;
+    cfg.scheme = c.scheme;
+    cfg.numClusters = 3;
+    cfg.lambda = c.lambda;
+    Simulation<double, 1> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
+    setupScenario(sim);
+    const auto st = sim.run(tEnd);
+    const auto trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, 450);
+    double misfit = 0.0;
+    if (ref.empty()) {
+      ref = trace;
+      refSeconds = st.seconds;
+      // Write the GTS trace (panel a reference).
+      Table t({"time", "vx"});
+      for (std::size_t i = 0; i < trace.size(); ++i)
+        t.addRow({formatNumber(tEnd * i / (trace.size() - 1), "%.4f"),
+                  formatNumber(trace[i], "%.6e")});
+      t.writeCsv("fig9_gts_trace.csv");
+    } else {
+      misfit = seismo::energyMisfit(trace, ref);
+      Table t({"time", "vx", "diff_vs_gts"});
+      for (std::size_t i = 0; i < trace.size(); ++i)
+        t.addRow({formatNumber(tEnd * i / (trace.size() - 1), "%.4f"),
+                  formatNumber(trace[i], "%.6e"), formatNumber(trace[i] - ref[i], "%.6e")});
+      t.writeCsv(std::string("fig9_lts_trace_") + (c.lambda == 1.0 ? "100" : "080") + ".csv");
+    }
+    table.addRow({c.name, std::to_string(st.cycles), formatNumber(st.seconds, "%.2f"),
+                  formatNumber(refSeconds / st.seconds, "%.2f"),
+                  ref.empty() ? "-" : formatNumber(misfit, "%.2e")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  table.writeCsv("fig9_summary.csv");
+  std::printf("paper: LTS misfits remain at GTS levels (E ~ 1e-3 vs the quasi-analytic\n"
+              "reference; here E is measured LTS-vs-GTS and must be far below that).\n");
+  return 0;
+}

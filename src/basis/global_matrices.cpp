@@ -1,0 +1,134 @@
+#include "basis/global_matrices.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "basis/quadrature.hpp"
+
+namespace nglts::basis {
+
+std::array<double, 3> faceParam(int_t face, double s, double t) {
+  static constexpr std::array<std::array<double, 3>, 4> kVerts = {{
+      {0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0},
+  }};
+  const auto& fv = kFaceVertices[face];
+  const auto& v0 = kVerts[fv[0]];
+  const auto& v1 = kVerts[fv[1]];
+  const auto& v2 = kVerts[fv[2]];
+  std::array<double, 3> p;
+  for (int_t d = 0; d < 3; ++d) p[d] = v0[d] + s * (v1[d] - v0[d]) + t * (v2[d] - v0[d]);
+  return p;
+}
+
+int_t findFacePermutation(const std::array<idx_t, 3>& from, const std::array<idx_t, 3>& to) {
+  for (int_t id = 0; id < 6; ++id) {
+    const auto& perm = kFacePermutations[id];
+    bool ok = true;
+    for (int_t m = 0; m < 3; ++m) ok = ok && (to[m] == from[perm[m]]);
+    if (ok) return id;
+  }
+  return -1;
+}
+
+namespace {
+
+std::shared_ptr<const GlobalMatrices> build(int_t order) {
+  auto gm = std::make_shared<GlobalMatrices>();
+  gm->order = order;
+  gm->nBasis = numBasis3d(order);
+  gm->nFaceBasis = numBasis2d(order);
+  gm->tet = std::make_shared<TetBasis>(order);
+  gm->tri = std::make_shared<TriBasis>(order);
+  const TetBasis& tet = *gm->tet;
+  const TriBasis& tri = *gm->tri;
+  const int_t nB = gm->nBasis;
+  const int_t nF = gm->nFaceBasis;
+
+  // Volume quadrature: integrands of degree <= 2(O-1); rule exact to 2n-1.
+  const auto vol = tetQuadrature(order + 1);
+
+  // Mass diagonal (orthonormal basis: should be ~1).
+  gm->massDiag.assign(nB, 0.0);
+  std::vector<std::vector<double>> phi(vol.size());
+  std::vector<std::vector<std::array<double, 3>>> grad(vol.size());
+  for (std::size_t q = 0; q < vol.size(); ++q) {
+    phi[q] = tet.evalAll(vol[q].xi);
+    grad[q].resize(nB);
+    for (int_t b = 0; b < nB; ++b) grad[q][b] = tet.evalGrad(b, vol[q].xi);
+    for (int_t b = 0; b < nB; ++b) gm->massDiag[b] += vol[q].weight * phi[q][b] * phi[q][b];
+  }
+
+  // Raw stiffness integrals: raw_c(m, n) = int phi_m dphi_n/dxi_c.
+  for (int_t c = 0; c < 3; ++c) {
+    linalg::Matrix raw(nB, nB);
+    for (std::size_t q = 0; q < vol.size(); ++q)
+      for (int_t m = 0; m < nB; ++m) {
+        const double w = vol[q].weight * phi[q][m];
+        for (int_t n = 0; n < nB; ++n) raw(m, n) += w * grad[q][n][c];
+      }
+    gm->kXi[c] = linalg::Matrix(nB, nB);
+    gm->gXi[c] = linalg::Matrix(nB, nB);
+    for (int_t m = 0; m < nB; ++m)
+      for (int_t n = 0; n < nB; ++n) {
+        gm->kXi[c](m, n) = raw(m, n) / gm->massDiag[n];
+        gm->gXi[c](m, n) = raw(n, m) / gm->massDiag[n];
+      }
+  }
+
+  // Face quadrature over the unit triangle (integrands of degree <= 2(O-1)).
+  const auto fq = triangleQuadrature(order + 1);
+
+  for (int_t i = 0; i < 4; ++i) {
+    gm->fluxLocal[i] = linalg::Matrix(nB, nF);
+    gm->fluxLift[i] = linalg::Matrix(nF, nB);
+    for (const auto& qp : fq) {
+      const auto xi = faceParam(i, qp.xi[0], qp.xi[1]);
+      const auto phiF = tet.evalAll(xi);
+      const auto psiF = tri.evalAll(qp.xi);
+      for (int_t b = 0; b < nB; ++b)
+        for (int_t f = 0; f < nF; ++f) {
+          gm->fluxLocal[i](b, f) += qp.weight * phiF[b] * psiF[f];
+          gm->fluxLift[i](f, b) += qp.weight * psiF[f] * phiF[b] / gm->massDiag[b];
+        }
+    }
+  }
+
+  // Neighbor trace projections for the 4 neighbor-local faces x 6 vertex
+  // permutations. For a quadrature point (s,t) in the local face frame with
+  // barycentrics (1-s-t, s, t), permutation id maps them into the neighbor
+  // frame: bary'[m] = bary[perm[m]], (s', t') = (bary'[1], bary'[2]).
+  for (int_t j = 0; j < 4; ++j)
+    for (int_t s = 0; s < 6; ++s) {
+      linalg::Matrix m(nB, nF);
+      const auto& perm = kFacePermutations[s];
+      for (const auto& qp : fq) {
+        const std::array<double, 3> bary = {1.0 - qp.xi[0] - qp.xi[1], qp.xi[0], qp.xi[1]};
+        const double sp = bary[perm[1]];
+        const double tp = bary[perm[2]];
+        const auto xiN = faceParam(j, sp, tp);
+        const auto phiN = tet.evalAll(xiN);
+        const auto psiF = tri.evalAll(qp.xi);
+        for (int_t b = 0; b < nB; ++b)
+          for (int_t f = 0; f < nF; ++f) m(b, f) += qp.weight * phiN[b] * psiF[f];
+      }
+      gm->fluxNeigh[j][s] = std::move(m);
+    }
+
+  return gm;
+}
+
+std::mutex g_cacheMutex;
+std::map<int_t, std::shared_ptr<const GlobalMatrices>> g_cache;
+
+} // namespace
+
+std::shared_ptr<const GlobalMatrices> buildGlobalMatrices(int_t order) {
+  std::lock_guard<std::mutex> lock(g_cacheMutex);
+  auto it = g_cache.find(order);
+  if (it != g_cache.end()) return it->second;
+  auto gm = build(order);
+  g_cache.emplace(order, gm);
+  return gm;
+}
+
+} // namespace nglts::basis

@@ -1,0 +1,198 @@
+#include "basis/jacobi.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace nglts::basis {
+
+namespace {
+
+/// Recurrence coefficients: P_{n+1} = (an * x + bn) * P_n - cn * P_{n-1}.
+struct Rec {
+  double an, bn, cn;
+};
+
+Rec recurrence(int_t n, double a, double b) {
+  // Standard Jacobi recurrence (Abramowitz & Stegun 22.7.1) rearranged.
+  const double n1 = n + 1.0;
+  const double den = 2.0 * n1 * (n1 + a + b) * (2.0 * n + a + b);
+  const double an = (2.0 * n + a + b) * (2.0 * n + a + b + 1.0) * (2.0 * n + a + b + 2.0) / den;
+  const double bn = (a * a - b * b) * (2.0 * n + a + b + 1.0) / den;
+  const double cn = 2.0 * (n + a) * (n + b) * (2.0 * n + a + b + 2.0) / den;
+  return {an, bn, cn};
+}
+
+} // namespace
+
+double jacobi(int_t n, double a, double b, double x) {
+  if (n == 0) return 1.0;
+  double pm1 = 1.0;
+  double p = 0.5 * (a - b) + 0.5 * (a + b + 2.0) * x;
+  for (int_t k = 1; k < n; ++k) {
+    const Rec r = recurrence(k, a, b);
+    const double pn = (r.an * x + r.bn) * p - r.cn * pm1;
+    pm1 = p;
+    p = pn;
+  }
+  return p;
+}
+
+double jacobiDerivative(int_t n, double a, double b, double x) {
+  if (n == 0) return 0.0;
+  return 0.5 * (n + a + b + 1.0) * jacobi(n - 1, a + 1.0, b + 1.0, x);
+}
+
+double scaledJacobi(int_t n, double a, double b, double u, double v) {
+  if (n == 0) return 1.0;
+  double pm1 = 1.0;
+  double p = 0.5 * (a - b) * v + 0.5 * (a + b + 2.0) * u;
+  for (int_t k = 1; k < n; ++k) {
+    const Rec r = recurrence(k, a, b);
+    const double pn = (r.an * u + r.bn * v) * p - r.cn * v * v * pm1;
+    pm1 = p;
+    p = pn;
+  }
+  return p;
+}
+
+ScaledJacobiDerivs scaledJacobiDerivs(int_t n, double a, double b, double u, double v) {
+  ScaledJacobiDerivs out{1.0, 0.0, 0.0};
+  if (n == 0) return out;
+  // S_1 and its derivatives.
+  double sm1 = 1.0, dum1 = 0.0, dvm1 = 0.0;
+  double s = 0.5 * (a - b) * v + 0.5 * (a + b + 2.0) * u;
+  double du = 0.5 * (a + b + 2.0);
+  double dv = 0.5 * (a - b);
+  for (int_t k = 1; k < n; ++k) {
+    const Rec r = recurrence(k, a, b);
+    const double lin = r.an * u + r.bn * v;
+    const double sn = lin * s - r.cn * v * v * sm1;
+    const double dun = r.an * s + lin * du - r.cn * v * v * dum1;
+    const double dvn = r.bn * s + lin * dv - 2.0 * r.cn * v * sm1 - r.cn * v * v * dvm1;
+    sm1 = s;
+    dum1 = du;
+    dvm1 = dv;
+    s = sn;
+    du = dun;
+    dv = dvn;
+  }
+  out.value = s;
+  out.du = du;
+  out.dv = dv;
+  return out;
+}
+
+namespace {
+
+/// Symmetric tridiagonal eigenproblem (implicit QL with Wilkinson shifts);
+/// we only need eigenvalues and the first component of each eigenvector,
+/// but tracking full vectors for n <= ~20 is cheap and simple.
+void tqli(std::vector<double>& d, std::vector<double>& e, std::vector<std::vector<double>>& z) {
+  const int_t n = static_cast<int_t>(d.size());
+  for (int_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (int_t l = 0; l < n; ++l) {
+    int_t iter = 0;
+    int_t m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 + 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter > 100) throw std::runtime_error("tqli: too many iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (int_t i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double bb = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * bb;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - bb;
+          for (int_t k = 0; k < n; ++k) {
+            f = z[k][i + 1];
+            z[k][i + 1] = s * z[k][i] + c * f;
+            z[k][i] = c * z[k][i] - s * f;
+          }
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+double intGamma(double x) {
+  // Gamma for the small positive arguments we need (integer & half-integer
+  // not required: alpha/beta are integers here, x >= 1).
+  double g = 1.0;
+  while (x > 1.5) {
+    x -= 1.0;
+    g *= x;
+  }
+  return g; // Gamma(1) = 1
+}
+
+} // namespace
+
+QuadRule1d gaussJacobi(int_t n, double a, double b) {
+  assert(n >= 1);
+  std::vector<double> diag(n), off(n, 0.0);
+  // Golub-Welsch: Jacobi matrix of the orthonormal recurrence.
+  for (int_t k = 0; k < n; ++k) {
+    if (k == 0) {
+      diag[k] = (b - a) / (a + b + 2.0);
+    } else {
+      const double s = 2.0 * k + a + b;
+      diag[k] = (b * b - a * a) / (s * (s + 2.0));
+    }
+    if (k >= 1) {
+      const double s = 2.0 * k + a + b;
+      double beta = 4.0 * k * (k + a) * (k + b) * (k + a + b) / (s * s * (s + 1.0) * (s - 1.0));
+      if (k == 1 && a + b == 0.0) // limit handling: s-1 = 1 fine; k=1, a+b=0: formula ok
+        beta = 4.0 * 1.0 * (1.0 + a) * (1.0 + b) * 1.0 / (4.0 * 3.0 * 1.0);
+      off[k] = std::sqrt(beta);
+    }
+  }
+  std::vector<std::vector<double>> z(n, std::vector<double>(n, 0.0));
+  for (int_t i = 0; i < n; ++i) z[i][i] = 1.0;
+  tqli(diag, off, z);
+
+  // mu0 = integral of the weight = 2^{a+b+1} * Gamma(a+1) Gamma(b+1) / Gamma(a+b+2)
+  const double mu0 =
+      std::pow(2.0, a + b + 1.0) * intGamma(a + 1.0) * intGamma(b + 1.0) / intGamma(a + b + 2.0);
+
+  QuadRule1d rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  std::vector<int_t> order(n);
+  for (int_t i = 0; i < n; ++i) order[i] = i;
+  // Sort nodes ascending for reproducibility.
+  for (int_t i = 0; i < n; ++i)
+    for (int_t j = i + 1; j < n; ++j)
+      if (diag[order[j]] < diag[order[i]]) std::swap(order[i], order[j]);
+  for (int_t i = 0; i < n; ++i) {
+    const int_t src = order[i];
+    rule.nodes[i] = diag[src];
+    rule.weights[i] = mu0 * z[0][src] * z[0][src];
+  }
+  return rule;
+}
+
+} // namespace nglts::basis

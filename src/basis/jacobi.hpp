@@ -1,0 +1,41 @@
+#pragma once
+// Jacobi polynomials P_n^{(a,b)}, their singularity-free "scaled" bivariate
+// form S_n(u,v) = v^n P_n^{(a,b)}(u/v) used on collapsed simplex coordinates,
+// and Gauss-Jacobi quadrature via Golub-Welsch.
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::basis {
+
+/// P_n^{(a,b)}(x) via the standard three-term recurrence.
+double jacobi(int_t n, double a, double b, double x);
+
+/// d/dx P_n^{(a,b)}(x) = (n+a+b+1)/2 * P_{n-1}^{(a+1,b+1)}(x).
+double jacobiDerivative(int_t n, double a, double b, double x);
+
+/// Scaled Jacobi S_n(u,v) = v^n P_n^{(a,b)}(u/v) — a homogeneous polynomial
+/// of degree n in (u,v); well-defined for v = 0 as well.
+double scaledJacobi(int_t n, double a, double b, double u, double v);
+
+/// Partial derivatives of the scaled Jacobi polynomial, evaluated via the
+/// differentiated three-term recurrence (polynomial; safe for v = 0).
+struct ScaledJacobiDerivs {
+  double value;
+  double du;
+  double dv;
+};
+ScaledJacobiDerivs scaledJacobiDerivs(int_t n, double a, double b, double u, double v);
+
+/// One-dimensional quadrature rule.
+struct QuadRule1d {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  int_t size() const { return static_cast<int_t>(nodes.size()); }
+};
+
+/// n-point Gauss-Jacobi rule on [-1, 1] with weight (1-x)^a (1+x)^b.
+/// Exact for polynomials of degree <= 2n - 1 (against the weight).
+QuadRule1d gaussJacobi(int_t n, double a, double b);
+
+} // namespace nglts::basis

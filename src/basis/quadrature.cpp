@@ -1,0 +1,50 @@
+#include "basis/quadrature.hpp"
+
+namespace nglts::basis {
+
+std::vector<QuadPoint2d> triangleQuadrature(int_t n) {
+  const QuadRule1d ra = gaussJacobi(n, 0.0, 0.0); // direction "a"
+  const QuadRule1d rb = gaussJacobi(n, 1.0, 0.0); // direction "b", weight (1-b)
+  std::vector<QuadPoint2d> pts;
+  pts.reserve(static_cast<std::size_t>(n) * n);
+  for (int_t j = 0; j < n; ++j) {
+    const double b = rb.nodes[j];
+    for (int_t i = 0; i < n; ++i) {
+      const double a = ra.nodes[i];
+      QuadPoint2d p;
+      p.xi[1] = 0.5 * (1.0 + b);
+      p.xi[0] = 0.25 * (1.0 + a) * (1.0 - b);
+      // dx dy = (1-b)/8 da db; the (1-b) factor lives in the GJ(1,0) weight.
+      p.weight = ra.weights[i] * rb.weights[j] / 8.0;
+      pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+std::vector<QuadPoint3d> tetQuadrature(int_t n) {
+  const QuadRule1d ra = gaussJacobi(n, 0.0, 0.0);
+  const QuadRule1d rb = gaussJacobi(n, 1.0, 0.0);
+  const QuadRule1d rc = gaussJacobi(n, 2.0, 0.0); // weight (1-c)^2
+  std::vector<QuadPoint3d> pts;
+  pts.reserve(static_cast<std::size_t>(n) * n * n);
+  for (int_t k = 0; k < n; ++k) {
+    const double c = rc.nodes[k];
+    for (int_t j = 0; j < n; ++j) {
+      const double b = rb.nodes[j];
+      for (int_t i = 0; i < n; ++i) {
+        const double a = ra.nodes[i];
+        QuadPoint3d p;
+        p.xi[2] = 0.5 * (1.0 + c);
+        p.xi[1] = 0.25 * (1.0 + b) * (1.0 - c);
+        p.xi[0] = 0.125 * (1.0 + a) * (1.0 - b) * (1.0 - c);
+        // dV = (1-b)(1-c)^2 / 64 da db dc; factors absorbed in GJ weights.
+        p.weight = ra.weights[i] * rb.weights[j] * rc.weights[k] / 64.0;
+        pts.push_back(p);
+      }
+    }
+  }
+  return pts;
+}
+
+} // namespace nglts::basis

@@ -1,0 +1,31 @@
+#pragma once
+// Quadrature on the reference simplices via collapsed (Duffy) coordinates.
+// Reference triangle: { (x,y) : x,y >= 0, x + y <= 1 }   (area 1/2)
+// Reference tet:      { (x,y,z) : x,y,z >= 0, x+y+z <= 1 } (volume 1/6)
+#include <array>
+#include <vector>
+
+#include "basis/jacobi.hpp"
+#include "common/types.hpp"
+
+namespace nglts::basis {
+
+struct QuadPoint2d {
+  std::array<double, 2> xi;
+  double weight;
+};
+
+struct QuadPoint3d {
+  std::array<double, 3> xi;
+  double weight;
+};
+
+/// Tensorized Gauss-Jacobi rule on the unit triangle; exact for total degree
+/// <= 2n - 1 with n points per direction (n^2 points total).
+std::vector<QuadPoint2d> triangleQuadrature(int_t n);
+
+/// Tensorized Gauss-Jacobi rule on the unit tetrahedron; exact for total
+/// degree <= 2n - 1 (n^3 points).
+std::vector<QuadPoint3d> tetQuadrature(int_t n);
+
+} // namespace nglts::basis

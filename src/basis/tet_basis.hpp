@@ -1,0 +1,47 @@
+#pragma once
+// Orthonormal Dubiner basis on the unit reference tetrahedron
+// (Karniadakis & Sherwin expansion, paper ref. [32]), ordered by total
+// degree so that the hierarchical block-sparsity of the Cauchy-Kowalevski
+// recursion (Sec. IV-A) falls out of the ordering.
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::basis {
+
+class TetBasis {
+ public:
+  /// Basis of all polynomials of total degree < order: B(order) functions.
+  explicit TetBasis(int_t order);
+
+  int_t order() const { return order_; }
+  int_t size() const { return static_cast<int_t>(modes_.size()); }
+
+  /// Number of basis functions with total degree < deg (prefix count);
+  /// equals B(deg). Used for the derivative-degree block trimming.
+  int_t sizeOfOrder(int_t deg) const;
+
+  /// Value at reference coordinates (safe on the closed tet).
+  double eval(int_t b, const std::array<double, 3>& xi) const;
+  std::vector<double> evalAll(const std::array<double, 3>& xi) const;
+
+  /// Gradient w.r.t. reference coordinates (safe on the closed tet —
+  /// evaluated through polynomial scaled-Jacobi recurrences).
+  std::array<double, 3> evalGrad(int_t b, const std::array<double, 3>& xi) const;
+
+  /// (p, q, r) mode of basis function b; total degree = p + q + r.
+  std::array<int_t, 3> mode(int_t b) const { return modes_[b]; }
+  int_t degree(int_t b) const {
+    return modes_[b][0] + modes_[b][1] + modes_[b][2];
+  }
+
+ private:
+  int_t order_;
+  std::vector<std::array<int_t, 3>> modes_;
+  std::vector<double> norm_;
+
+  double rawEval(int_t b, const std::array<double, 3>& xi) const;
+};
+
+} // namespace nglts::basis

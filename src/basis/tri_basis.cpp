@@ -1,0 +1,50 @@
+#include "basis/tri_basis.hpp"
+
+#include <cmath>
+
+#include "basis/jacobi.hpp"
+#include "basis/quadrature.hpp"
+
+namespace nglts::basis {
+
+namespace {
+/// Unnormalized Dubiner value via singularity-free scaled Jacobi polynomials:
+/// psi_pq = S_p^{(0,0)}(u, v) * P_q^{(2p+1,0)}(2*xi2 - 1),
+/// with u = 2*xi1 - (1 - xi2), v = 1 - xi2.
+double rawEval(int_t p, int_t q, const std::array<double, 2>& xi) {
+  const double u = 2.0 * xi[0] - (1.0 - xi[1]);
+  const double v = 1.0 - xi[1];
+  return scaledJacobi(p, 0.0, 0.0, u, v) * scaledJacobi(q, 2.0 * p + 1.0, 0.0, 2.0 * xi[1] - 1.0, 1.0);
+}
+} // namespace
+
+TriBasis::TriBasis(int_t order) : order_(order) {
+  for (int_t deg = 0; deg < order; ++deg)
+    for (int_t p = deg; p >= 0; --p) {
+      const int_t q = deg - p;
+      modes_.push_back({p, q});
+    }
+  // Normalize numerically: exact with (order + 1)-point collapsed quadrature.
+  const auto quad = triangleQuadrature(order + 1);
+  norm_.resize(modes_.size());
+  for (std::size_t b = 0; b < modes_.size(); ++b) {
+    double m = 0.0;
+    for (const auto& qp : quad) {
+      const double val = rawEval(modes_[b][0], modes_[b][1], qp.xi);
+      m += qp.weight * val * val;
+    }
+    norm_[b] = 1.0 / std::sqrt(m);
+  }
+}
+
+double TriBasis::eval(int_t b, const std::array<double, 2>& xi) const {
+  return norm_[b] * rawEval(modes_[b][0], modes_[b][1], xi);
+}
+
+std::vector<double> TriBasis::evalAll(const std::array<double, 2>& xi) const {
+  std::vector<double> out(modes_.size());
+  for (std::size_t b = 0; b < modes_.size(); ++b) out[b] = eval(static_cast<int_t>(b), xi);
+  return out;
+}
+
+} // namespace nglts::basis

@@ -1,0 +1,37 @@
+#pragma once
+// Orthonormal Dubiner basis on the unit reference triangle. These span the
+// face representation of traces ("F(O) triangular basis functions" of the
+// paper) used by the flux matrices and the face-local MPI compression.
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::basis {
+
+class TriBasis {
+ public:
+  /// Basis of all polynomials of total degree < order (F(order) functions),
+  /// ordered by total degree, then by q within a degree.
+  explicit TriBasis(int_t order);
+
+  int_t order() const { return order_; }
+  int_t size() const { return static_cast<int_t>(modes_.size()); }
+
+  /// Value of basis function b at reference coordinates (safe everywhere on
+  /// the closed triangle).
+  double eval(int_t b, const std::array<double, 2>& xi) const;
+
+  /// All basis values at a point.
+  std::vector<double> evalAll(const std::array<double, 2>& xi) const;
+
+  /// (p, q) mode indices of basis function b.
+  std::array<int_t, 2> mode(int_t b) const { return modes_[b]; }
+
+ private:
+  int_t order_;
+  std::vector<std::array<int_t, 2>> modes_;
+  std::vector<double> norm_; // normalization factors making the basis orthonormal
+};
+
+} // namespace nglts::basis

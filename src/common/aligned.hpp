@@ -1,0 +1,42 @@
+#pragma once
+// Cache-line / SIMD aligned storage used for DOFs and kernel scratch memory.
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace nglts {
+
+inline constexpr std::size_t kAlignment = 64; // bytes, AVX512-friendly
+
+/// Minimal aligned allocator so std::vector storage can be handed to
+/// SIMD kernels without peeling loops.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(kAlignment, roundUp(n * sizeof(T)));
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  static std::size_t roundUp(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+};
+
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace nglts

@@ -1,0 +1,32 @@
+#pragma once
+// Analytic floating point operation accounting. The paper (Tab. I) reports
+// hardware FLOPS and the fraction of "zero operations" removed by sparse
+// kernels; we track non-zero useful operations per kernel invocation so the
+// harness can report GFLOPS-equivalents and dense-vs-sparse op ratios.
+#include <cstdint>
+
+namespace nglts {
+
+struct FlopCounter {
+  std::uint64_t adds = 0;
+  std::uint64_t muls = 0;
+
+  void addFma(std::uint64_t n) {
+    adds += n;
+    muls += n;
+  }
+  std::uint64_t total() const { return adds + muls; }
+  FlopCounter& operator+=(const FlopCounter& o) {
+    adds += o.adds;
+    muls += o.muls;
+    return *this;
+  }
+};
+
+/// FLOPs of a dense M x K times K x N matrix product with W fused values.
+inline std::uint64_t gemmFlops(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                               std::uint64_t w = 1) {
+  return 2ull * m * n * k * w;
+}
+
+} // namespace nglts

@@ -1,0 +1,36 @@
+#pragma once
+// Tiny leveled logger. Single-process; thread-safe via a global mutex.
+#include <sstream>
+#include <string>
+
+namespace nglts {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Emit one line at the given level (no trailing newline required).
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { logMessage(level, os.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+} // namespace detail
+
+} // namespace nglts
+
+#define NGLTS_LOG_DEBUG ::nglts::detail::LogLine(::nglts::LogLevel::kDebug)
+#define NGLTS_LOG_INFO ::nglts::detail::LogLine(::nglts::LogLevel::kInfo)
+#define NGLTS_LOG_WARN ::nglts::detail::LogLine(::nglts::LogLevel::kWarn)
+#define NGLTS_LOG_ERROR ::nglts::detail::LogLine(::nglts::LogLevel::kError)

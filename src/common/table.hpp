@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text table and CSV emission for the benchmark harnesses, so every
+// reproduced table/figure prints the same rows/series the paper reports.
+#include <string>
+#include <vector>
+
+namespace nglts {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  /// Render as an aligned ASCII table.
+  std::string str() const;
+  /// Render as CSV (RFC-ish; no quoting needed for our numeric content).
+  std::string csv() const;
+  /// Write CSV to a file path; returns false on I/O failure.
+  bool writeCsv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.3g" etc.) returning std::string.
+std::string formatNumber(double v, const char* fmt = "%.4g");
+
+} // namespace nglts

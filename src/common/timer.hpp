@@ -1,0 +1,22 @@
+#pragma once
+// Wall-clock stopwatch used by the benchmark harnesses and the solver's
+// performance counters.
+#include <chrono>
+
+namespace nglts {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace nglts

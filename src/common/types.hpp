@@ -1,0 +1,52 @@
+#pragma once
+// Core scalar and index types plus compile-time size helpers shared by every
+// module of the nglts library (reproduction of Breuer & Heinecke, IPDPS 2022).
+#include <cstddef>
+#include <cstdint>
+
+namespace nglts {
+
+/// Element / global entity index. Meshes of up to ~2^31 entities.
+using idx_t = std::int64_t;
+/// Small local counts (basis size, face ids, cluster ids, ...).
+using int_t = std::int32_t;
+
+/// Number of elastic quantities: 6 stresses + 3 particle velocities.
+inline constexpr int_t kElasticVars = 9;
+/// Memory variables per relaxation mechanism (one per stress component).
+inline constexpr int_t kAnelasticVarsPerMech = 6;
+
+/// Number of anelastic memory variables for m relaxation mechanisms.
+constexpr int_t numAnelasticVars(int_t mechs) { return kAnelasticVarsPerMech * mechs; }
+
+/// Total number of PDE quantities N_q = 9 + 6m.
+constexpr int_t numVars(int_t mechs) { return kElasticVars + numAnelasticVars(mechs); }
+
+/// Number of 3D modal basis functions for a convergence order O
+/// (polynomial degree O-1): B(O) = O(O+1)(O+2)/6.
+constexpr int_t numBasis3d(int_t order) { return order * (order + 1) * (order + 2) / 6; }
+
+/// Number of 2D (triangle) basis functions: F(O) = O(O+1)/2.
+constexpr int_t numBasis2d(int_t order) { return order * (order + 1) / 2; }
+
+/// Number of 1D basis functions of degree < O.
+constexpr int_t numBasis1d(int_t order) { return order; }
+
+/// Variable ordering inside the elastic block.
+enum ElasticVar : int_t {
+  kSxx = 0, kSyy = 1, kSzz = 2, kSxy = 3, kSyz = 4, kSxz = 5,
+  kVelU = 6, kVelV = 7, kVelW = 8
+};
+
+/// Face boundary conditions.
+enum class FaceKind : std::uint8_t {
+  kInterior = 0,   ///< regular element-element face
+  kFreeSurface,    ///< traction-free boundary (earth's surface)
+  kAbsorbing,      ///< first-order absorbing / outflow boundary
+  kPeriodic        ///< periodic partner face (treated as interior)
+};
+
+/// Fused-simulation widths supported by the kernel instantiations.
+inline constexpr int_t kMaxFusedWidth = 16;
+
+} // namespace nglts

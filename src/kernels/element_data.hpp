@@ -1,0 +1,33 @@
+#pragma once
+// Per-element, precomputed operator data of the discrete scheme (Sec. III):
+// the element-local star matrices (linear combinations of the Jacobians with
+// the inverse element Jacobian), the anelastic coupling blocks, and the
+// per-face flux solver matrices with the Godunov selectors, surface scaling
+// 2|S_i|/|J| and sign conventions folded in.
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::kernels {
+
+template <typename Real>
+struct ElementData {
+  /// Elastic star matrices \bar A^e_c, 9x9 row-major, c = xi_1..xi_3.
+  std::array<std::array<Real, 81>, 3> starE;
+  /// Anelastic star matrices \bar A^a_c (omega-free), 6x9 row-major.
+  std::array<std::array<Real, 54>, 3> starA;
+  /// Coupling blocks E_l, 9x6 row-major, concatenated over mechanisms.
+  std::vector<Real> couple;
+  /// Per-face elastic flux solvers (local/minus and neighbor/plus side),
+  /// 9x9 row-major, scaling and signs folded in.
+  std::array<std::array<Real, 81>, 4> fluxSolveE;
+  std::array<std::array<Real, 81>, 4> fluxSolveENeigh;
+  /// Per-face anelastic flux solvers (omega-free), 6x9 row-major.
+  std::array<std::array<Real, 54>, 4> fluxSolveA;
+  std::array<std::array<Real, 54>, 4> fluxSolveANeigh;
+  /// True where a face has a neighbor contribution (interior/periodic).
+  std::array<bool, 4> hasNeighbor = {false, false, false, false};
+};
+
+} // namespace nglts::kernels

@@ -1,0 +1,116 @@
+#include "kernels/kernel_setup.hpp"
+
+#include <stdexcept>
+
+#include "physics/jacobians.hpp"
+#include "physics/riemann.hpp"
+
+namespace nglts::kernels {
+
+namespace {
+
+template <typename Real, std::size_t N>
+void castInto(const linalg::Matrix& m, std::array<Real, N>& dst, double scale = 1.0) {
+  if (static_cast<std::size_t>(m.rows()) * m.cols() != N)
+    throw std::runtime_error("castInto: size mismatch");
+  for (int_t r = 0; r < m.rows(); ++r)
+    for (int_t c = 0; c < m.cols(); ++c)
+      dst[static_cast<std::size_t>(r) * m.cols() + c] = static_cast<Real>(scale * m(r, c));
+}
+
+} // namespace
+
+template <typename Real>
+ElementData<Real> buildElementData(const mesh::TetMesh& mesh,
+                                   const std::vector<mesh::ElementGeometry>& geo,
+                                   const std::vector<physics::Material>& materials, idx_t el,
+                                   int_t mechanisms) {
+  ElementData<Real> ed;
+  const mesh::ElementGeometry& g = geo[el];
+  const physics::Material& mat = materials[el];
+
+  // Star matrices: linear combinations with rows of the inverse Jacobian.
+  for (int_t c = 0; c < 3; ++c) {
+    linalg::Matrix se(kElasticVars, kElasticVars);
+    linalg::Matrix sa(kAnelasticVarsPerMech, kElasticVars);
+    for (int_t d = 0; d < 3; ++d) {
+      const double f = g.invJac[c][d];
+      if (f == 0.0) continue;
+      se = se + physics::elasticJacobian(mat, d).scaled(f);
+      sa = sa + physics::anelasticJacobian(d).scaled(f);
+    }
+    castInto(se, ed.starE[c]);
+    castInto(sa, ed.starA[c]);
+  }
+
+  // Coupling blocks. Elements whose material carries fewer mechanisms than
+  // the run (e.g. effectively elastic regions) get zero coupling.
+  ed.couple.assign(static_cast<std::size_t>(mechanisms) * 54, Real(0));
+  for (int_t l = 0; l < mechanisms && l < mat.mechanisms(); ++l) {
+    const linalg::Matrix e = physics::couplingE(mat, l);
+    for (int_t r = 0; r < kElasticVars; ++r)
+      for (int_t c = 0; c < 6; ++c)
+        ed.couple[static_cast<std::size_t>(l) * 54 + r * 6 + c] = static_cast<Real>(e(r, c));
+  }
+
+  // Flux solvers per face: -c_i A_n G(+/-).
+  for (int_t f = 0; f < 4; ++f) {
+    const mesh::FaceInfo& fi = mesh.faces[el][f];
+    const mesh::FaceGeometry& fg = g.face[f];
+    const double ci = g.fluxScale[f];
+    const linalg::Matrix an = physics::elasticJacobianNormal(mat, fg.normal);
+    const linalg::Matrix aa = physics::anelasticJacobianNormal(fg.normal);
+
+    linalg::Matrix gMinus, gPlus(kElasticVars, kElasticVars);
+    switch (fi.kind) {
+      case FaceKind::kInterior:
+      case FaceKind::kPeriodic: {
+        const physics::GodunovSelectors sel = physics::godunovInterface(
+            mat, materials[fi.neighbor], fg.normal, fg.tangent1, fg.tangent2);
+        gMinus = sel.minus;
+        gPlus = sel.plus;
+        ed.hasNeighbor[f] = true;
+        break;
+      }
+      case FaceKind::kFreeSurface:
+        gMinus = physics::freeSurfaceSelector(mat, fg.normal, fg.tangent1, fg.tangent2);
+        break;
+      case FaceKind::kAbsorbing:
+        gMinus = physics::absorbingSelector(mat, fg.normal, fg.tangent1, fg.tangent2);
+        break;
+    }
+    castInto(an * gMinus, ed.fluxSolveE[f], -ci);
+    castInto(an * gPlus, ed.fluxSolveENeigh[f], -ci);
+    castInto(aa * gMinus, ed.fluxSolveA[f], -ci);
+    castInto(aa * gPlus, ed.fluxSolveANeigh[f], -ci);
+  }
+  return ed;
+}
+
+template <typename Real>
+std::vector<ElementData<Real>> buildAllElementData(
+    const mesh::TetMesh& mesh, const std::vector<mesh::ElementGeometry>& geo,
+    const std::vector<physics::Material>& materials, int_t mechanisms) {
+  std::vector<ElementData<Real>> out(mesh.numElements());
+#pragma omp parallel for schedule(static)
+  for (idx_t el = 0; el < mesh.numElements(); ++el)
+    out[el] = buildElementData<Real>(mesh, geo, materials, el, mechanisms);
+  return out;
+}
+
+template ElementData<float> buildElementData<float>(const mesh::TetMesh&,
+                                                    const std::vector<mesh::ElementGeometry>&,
+                                                    const std::vector<physics::Material>&, idx_t,
+                                                    int_t);
+template ElementData<double> buildElementData<double>(const mesh::TetMesh&,
+                                                      const std::vector<mesh::ElementGeometry>&,
+                                                      const std::vector<physics::Material>&,
+                                                      idx_t, int_t);
+template std::vector<ElementData<float>> buildAllElementData<float>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, int_t);
+template std::vector<ElementData<double>> buildAllElementData<double>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, int_t);
+
+} // namespace nglts::kernels

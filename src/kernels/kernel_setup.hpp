@@ -1,0 +1,41 @@
+#pragma once
+// Assembly of the per-element operator data (star matrices, coupling blocks,
+// Godunov flux solvers) from mesh geometry and materials. Runs in double
+// precision and casts to the kernel scalar type.
+#include <vector>
+
+#include "kernels/element_data.hpp"
+#include "mesh/geometry.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "physics/material.hpp"
+
+namespace nglts::kernels {
+
+/// Build the operator data of a single element. `materials` is indexed by
+/// element id (the neighbor's material enters the interface flux solvers).
+template <typename Real>
+ElementData<Real> buildElementData(const mesh::TetMesh& mesh,
+                                   const std::vector<mesh::ElementGeometry>& geo,
+                                   const std::vector<physics::Material>& materials, idx_t el,
+                                   int_t mechanisms);
+
+/// Build the operator data of every element (OpenMP-parallel).
+template <typename Real>
+std::vector<ElementData<Real>> buildAllElementData(
+    const mesh::TetMesh& mesh, const std::vector<mesh::ElementGeometry>& geo,
+    const std::vector<physics::Material>& materials, int_t mechanisms);
+
+extern template ElementData<float> buildElementData<float>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, idx_t, int_t);
+extern template ElementData<double> buildElementData<double>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, idx_t, int_t);
+extern template std::vector<ElementData<float>> buildAllElementData<float>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, int_t);
+extern template std::vector<ElementData<double>> buildAllElementData<double>(
+    const mesh::TetMesh&, const std::vector<mesh::ElementGeometry>&,
+    const std::vector<physics::Material>&, int_t);
+
+} // namespace nglts::kernels

@@ -1,0 +1,41 @@
+#include "linalg/csr.hpp"
+
+#include <cmath>
+
+namespace nglts::linalg {
+
+template <typename Real>
+Csr<Real> toCsr(const Matrix& dense, double tol) {
+  Csr<Real> out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.rowPtr.assign(out.rows + 1, 0);
+  for (int_t r = 0; r < out.rows; ++r) {
+    out.rowPtr[r] = static_cast<int_t>(out.values.size());
+    for (int_t c = 0; c < out.cols; ++c) {
+      const double v = dense(r, c);
+      if (std::fabs(v) > tol) {
+        out.colIdx.push_back(c);
+        out.values.push_back(static_cast<Real>(v));
+      }
+    }
+  }
+  out.rowPtr[out.rows] = static_cast<int_t>(out.values.size());
+  return out;
+}
+
+template <typename Real>
+Matrix toDense(const Csr<Real>& csr) {
+  Matrix out(csr.rows, csr.cols);
+  for (int_t r = 0; r < csr.rows; ++r)
+    for (int_t i = csr.rowPtr[r]; i < csr.rowPtr[r + 1]; ++i)
+      out(r, csr.colIdx[i]) = static_cast<double>(csr.values[i]);
+  return out;
+}
+
+template Csr<float> toCsr<float>(const Matrix&, double);
+template Csr<double> toCsr<double>(const Matrix&, double);
+template Matrix toDense<float>(const Csr<float>&);
+template Matrix toDense<double>(const Csr<double>&);
+
+} // namespace nglts::linalg

@@ -1,0 +1,177 @@
+#pragma once
+// Small-matrix kernels for the ADER-DG hot path — our stand-in for
+// LIBXSMM's Tensor Processing Primitives (paper Sec. IV-B).
+//
+// DOF tensors are stored as D[var][basis][W] with the fused-simulation width
+// W innermost. For W == 1 the kernels vectorize over the trailing matrix
+// dimension; for W > 1 they vectorize perfectly over the fused runs, which
+// is exactly the paper's trick for exploiting *all* sparsity (Sec. IV-A).
+//
+// Two operator application shapes cover every DG kernel:
+//   star :  O[m][b][w] += A[m][k]   * D[k][b][w]   (Jacobians, flux solvers)
+//   right:  O[i][n][w] += D[i][k][w] * B[k][n]     (stiffness, flux matrices)
+// Both exist in dense and CSR form; all kernels accumulate (+=) and return
+// the number of useful floating point operations performed.
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hpp"
+#include "linalg/csr.hpp"
+
+namespace nglts::linalg {
+
+template <typename Real>
+inline void zeroBlock(Real* p, std::size_t n) {
+  std::memset(p, 0, n * sizeof(Real));
+}
+
+template <typename Real>
+inline void copyBlock(Real* dst, const Real* src, std::size_t n) {
+  std::memcpy(dst, src, n * sizeof(Real));
+}
+
+/// dst[i] += s * src[i]
+template <typename Real>
+inline void axpyBlock(Real s, const Real* src, Real* dst, std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) dst[i] += s * src[i];
+}
+
+/// dst[i] = s * src[i]
+template <typename Real>
+inline void scaleCopyBlock(Real s, const Real* src, Real* dst, std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) dst[i] = s * src[i];
+}
+
+// ---------------------------------------------------------------------------
+// star: O[m][b][w] += A[m][k] * D[k][b][w]
+// ---------------------------------------------------------------------------
+
+/// `ld` is the leading (basis) dimension of the d/o tensors; `nCols <= ld`
+/// restricts the columns actually touched (block-sparsity trimming).
+template <typename Real, int W>
+std::uint64_t starMulDense(int_t m, int_t k, int_t nCols, int_t ld, const Real* a, const Real* d,
+                           Real* o) {
+  for (int_t r = 0; r < m; ++r) {
+    Real* orow = o + static_cast<std::size_t>(r) * ld * W;
+    for (int_t c = 0; c < k; ++c) {
+      const Real av = a[r * k + c];
+      if (av == Real(0)) continue; // static zero blocks of the Jacobians
+      const Real* drow = d + static_cast<std::size_t>(c) * ld * W;
+#pragma omp simd
+      for (int_t j = 0; j < nCols * W; ++j) orow[j] += av * drow[j];
+    }
+  }
+  return 2ull * m * k * nCols * W;
+}
+
+template <typename Real, int W>
+std::uint64_t starMulCsr(const Csr<Real>& a, int_t nCols, int_t ld, const Real* d, Real* o) {
+  for (int_t r = 0; r < a.rows; ++r) {
+    Real* orow = o + static_cast<std::size_t>(r) * ld * W;
+    for (int_t i = a.rowPtr[r]; i < a.rowPtr[r + 1]; ++i) {
+      const Real av = a.values[i];
+      const Real* drow = d + static_cast<std::size_t>(a.colIdx[i]) * ld * W;
+#pragma omp simd
+      for (int_t j = 0; j < nCols * W; ++j) orow[j] += av * drow[j];
+    }
+  }
+  return 2ull * a.nnz() * nCols * W;
+}
+
+// ---------------------------------------------------------------------------
+// right: O[i][n][w] += D[i][k][w] * B[k][n]
+// ---------------------------------------------------------------------------
+
+/// Dense variant. kEff <= B.rows restricts the summation (block-sparsity of
+/// the Cauchy-Kowalevski recursion: higher derivatives only populate leading
+/// modal blocks). nEff <= B.cols restricts the produced columns.
+template <typename Real, int W>
+std::uint64_t rightMulDense(int_t nVars, int_t kEff, int_t nEff, int_t ldb, const Real* d,
+                            const Real* b, Real* o, int_t ldd, int_t ldo) {
+  for (int_t i = 0; i < nVars; ++i) {
+    const Real* dmat = d + static_cast<std::size_t>(i) * ldd * W;
+    Real* omat = o + static_cast<std::size_t>(i) * ldo * W;
+    if constexpr (W == 1) {
+      for (int_t kk = 0; kk < kEff; ++kk) {
+        const Real dv = dmat[kk];
+        if (dv == Real(0)) continue;
+        const Real* brow = b + static_cast<std::size_t>(kk) * ldb;
+#pragma omp simd
+        for (int_t n = 0; n < nEff; ++n) omat[n] += dv * brow[n];
+      }
+    } else {
+      for (int_t kk = 0; kk < kEff; ++kk) {
+        const Real* dvec = dmat + static_cast<std::size_t>(kk) * W;
+        const Real* brow = b + static_cast<std::size_t>(kk) * ldb;
+        for (int_t n = 0; n < nEff; ++n) {
+          const Real bv = brow[n];
+          if (bv == Real(0)) continue;
+          Real* ovec = omat + static_cast<std::size_t>(n) * W;
+#pragma omp simd
+          for (int_t w = 0; w < W; ++w) ovec[w] += dvec[w] * bv;
+        }
+      }
+    }
+  }
+  return 2ull * nVars * kEff * nEff * W;
+}
+
+/// CSR variant (the fused sparse kernels of Sec. IV-A/B). B is stored CSR by
+/// rows k; kEff restricts to the leading kEff rows.
+template <typename Real, int W>
+std::uint64_t rightMulCsr(int_t nVars, int_t kEff, const Csr<Real>& b, const Real* d, Real* o,
+                          int_t ldd, int_t ldo) {
+  const int_t kUse = kEff < b.rows ? kEff : b.rows;
+  const int_t nnzUsed = b.rowPtr[kUse] - b.rowPtr[0];
+  for (int_t i = 0; i < nVars; ++i) {
+    const Real* dmat = d + static_cast<std::size_t>(i) * ldd * W;
+    Real* omat = o + static_cast<std::size_t>(i) * ldo * W;
+    for (int_t kk = 0; kk < kUse; ++kk) {
+      const Real* dvec = dmat + static_cast<std::size_t>(kk) * W;
+      if constexpr (W == 1) {
+        const Real dv = dvec[0];
+        if (dv == Real(0)) continue;
+        for (int_t p = b.rowPtr[kk]; p < b.rowPtr[kk + 1]; ++p)
+          omat[b.colIdx[p]] += dv * b.values[p];
+      } else {
+        for (int_t p = b.rowPtr[kk]; p < b.rowPtr[kk + 1]; ++p) {
+          const Real bv = b.values[p];
+          Real* ovec = omat + static_cast<std::size_t>(b.colIdx[p]) * W;
+#pragma omp simd
+          for (int_t w = 0; w < W; ++w) ovec[w] += dvec[w] * bv;
+        }
+      }
+    }
+  }
+  return 2ull * nVars * nnzUsed * W;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime operator wrapper: keeps a dense and a CSR image of a static DG
+// matrix and dispatches on the configured mode (single runs use the dense
+// block-trimmed path, fused runs the fully sparse path).
+// ---------------------------------------------------------------------------
+
+template <typename Real>
+struct SmallOp {
+  int_t rows = 0, cols = 0;
+  std::vector<Real> dense;  // row-major rows x cols
+  Csr<Real> csr;
+
+  SmallOp() = default;
+  explicit SmallOp(const Matrix& m, double tol = 1e-14) { assign(m, tol); }
+
+  void assign(const Matrix& m, double tol = 1e-14) {
+    rows = m.rows();
+    cols = m.cols();
+    dense.resize(static_cast<std::size_t>(rows) * cols);
+    for (int_t r = 0; r < rows; ++r)
+      for (int_t c = 0; c < cols; ++c)
+        dense[static_cast<std::size_t>(r) * cols + c] = static_cast<Real>(m(r, c));
+    csr = toCsr<Real>(m, tol);
+  }
+};
+
+} // namespace nglts::linalg

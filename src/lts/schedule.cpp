@@ -1,0 +1,68 @@
+#include "lts/schedule.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nglts::lts {
+
+namespace {
+void advance(int_t l, std::vector<ScheduleOp>& ops) {
+  ops.push_back({PhaseKind::kLocal, l});
+  if (l > 0) {
+    advance(l - 1, ops);
+    advance(l - 1, ops);
+  }
+  ops.push_back({PhaseKind::kNeighbor, l});
+}
+} // namespace
+
+std::vector<ScheduleOp> buildSchedule(int_t numClusters) {
+  std::vector<ScheduleOp> ops;
+  advance(numClusters - 1, ops);
+  return ops;
+}
+
+idx_t stepsPerCycle(int_t numClusters, int_t cluster) {
+  return idx_t{1} << (numClusters - 1 - cluster);
+}
+
+void checkSchedule(const std::vector<ScheduleOp>& ops, int_t numClusters) {
+  // Track per-cluster predicted/completed step counts; times are in units of
+  // the smallest cluster step (cluster l steps span 2^l units).
+  std::vector<idx_t> predicted(numClusters, 0), completed(numClusters, 0);
+  auto span = [&](int_t l) { return idx_t{1} << l; };
+
+  for (const ScheduleOp& op : ops) {
+    const int_t l = op.cluster;
+    if (l < 0 || l >= numClusters) throw std::runtime_error("checkSchedule: bad cluster id");
+    if (op.kind == PhaseKind::kLocal) {
+      if (predicted[l] != completed[l])
+        throw std::runtime_error("checkSchedule: double predict of cluster " + std::to_string(l));
+      ++predicted[l];
+    } else {
+      if (predicted[l] != completed[l] + 1)
+        throw std::runtime_error("checkSchedule: neighbor before local, cluster " +
+                                 std::to_string(l));
+      const idx_t tEnd = predicted[l] * span(l); // completion time of this step
+      // Equal cluster: own local already ran (checked above). Smaller
+      // cluster: its predictions must cover [tEnd - span, tEnd], i.e. it must
+      // have PREDICTED through tEnd (B3 complete after its 2nd predict).
+      if (l > 0 && predicted[l - 1] * span(l - 1) < tEnd)
+        throw std::runtime_error("checkSchedule: smaller-cluster buffer incomplete at cluster " +
+                                 std::to_string(l));
+      // Larger cluster: its prediction must cover [tEnd - span, tEnd].
+      if (l + 1 < numClusters && predicted[l + 1] * span(l + 1) < tEnd)
+        throw std::runtime_error("checkSchedule: larger-cluster buffer missing at cluster " +
+                                 std::to_string(l));
+      ++completed[l];
+    }
+  }
+  // All clusters must reach the common horizon 2^(Nc-1).
+  for (int_t l = 0; l < numClusters; ++l) {
+    if (completed[l] * span(l) != idx_t{1} << (numClusters - 1))
+      throw std::runtime_error("checkSchedule: cluster " + std::to_string(l) +
+                               " did not reach the cycle horizon");
+  }
+}
+
+} // namespace nglts::lts

@@ -1,0 +1,39 @@
+#pragma once
+// The rate-2 LTS schedule (paper Sec. V-B / Fig. 6), flattened from the
+// recursion
+//   advance(l): local(l); if l > 0 { advance(l-1); advance(l-1); } neighbor(l)
+// into a static op sequence executed per LTS "cycle" (one step of the
+// largest cluster). local(l) = time prediction + buffer writes + volume +
+// local surface; neighbor(l) = face-neighbor contributions.
+//
+// The sequence guarantees every buffer is written before it is consumed:
+//  * equal-cluster neighbors read B1 written in the same local(l),
+//  * smaller-cluster neighbors read B2 / B1 - B2 written before the recursion,
+//  * larger-cluster neighbors read B3, complete after the two sub-steps.
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::lts {
+
+enum class PhaseKind : int_t { kLocal = 0, kNeighbor = 1 };
+
+struct ScheduleOp {
+  PhaseKind kind;
+  int_t cluster;
+};
+
+/// Flattened op sequence of one full cycle (all clusters advance by the
+/// largest cluster's time step). 2^(Nc-1) local+neighbor pairs for cluster 0,
+/// half as many for cluster 1, ..., one pair for the top cluster.
+std::vector<ScheduleOp> buildSchedule(int_t numClusters);
+
+/// Number of steps cluster l performs per cycle: 2^(Nc - 1 - l).
+idx_t stepsPerCycle(int_t numClusters, int_t cluster);
+
+/// Validate a schedule against the buffer-availability rules above; throws
+/// std::runtime_error with a diagnostic on the first violation. Used by unit
+/// tests and in debug builds of the solver.
+void checkSchedule(const std::vector<ScheduleOp>& ops, int_t numClusters);
+
+} // namespace nglts::lts

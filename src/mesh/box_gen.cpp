@@ -1,0 +1,145 @@
+#include "mesh/box_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nglts::mesh {
+
+std::vector<double> uniformPlanes(double lo, double hi, idx_t cells) {
+  std::vector<double> p(cells + 1);
+  for (idx_t i = 0; i <= cells; ++i) p[i] = lo + (hi - lo) * static_cast<double>(i) / cells;
+  return p;
+}
+
+std::vector<double> gradedPlanes(double lo, double hi,
+                                 const std::function<double(double)>& spacing) {
+  std::vector<double> p = {lo};
+  double x = lo;
+  while (x < hi) {
+    const double h = spacing(x);
+    if (!(h > 0.0)) throw std::runtime_error("gradedPlanes: spacing must be positive");
+    x += h;
+    p.push_back(x);
+  }
+  if (p.size() < 2) throw std::runtime_error("gradedPlanes: empty grading");
+  // Rescale so the last plane lands on hi exactly.
+  const double scale = (hi - lo) / (p.back() - lo);
+  for (double& v : p) v = lo + (v - lo) * scale;
+  p.back() = hi;
+  return p;
+}
+
+namespace {
+
+// The six axis permutations of the Kuhn subdivision; each tet walks from the
+// cell corner (0,0,0) to (1,1,1) adding one unit step per permuted axis.
+constexpr std::array<std::array<int_t, 3>, 6> kAxisPerms = {{
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}};
+
+} // namespace
+
+TetMesh generateBox(const BoxSpec& spec) {
+  const idx_t nx = static_cast<idx_t>(spec.planes[0].size()) - 1;
+  const idx_t ny = static_cast<idx_t>(spec.planes[1].size()) - 1;
+  const idx_t nz = static_cast<idx_t>(spec.planes[2].size()) - 1;
+  if (nx < 1 || ny < 1 || nz < 1) throw std::runtime_error("generateBox: need >= 1 cell per axis");
+  for (int_t a = 0; a < 3; ++a)
+    if (spec.periodic[a] && (a == 0 ? nx : a == 1 ? ny : nz) < 3)
+      throw std::runtime_error("generateBox: periodic axes need >= 3 cells");
+
+  TetMesh mesh;
+  const idx_t vnx = nx + 1, vny = ny + 1, vnz = nz + 1;
+  auto vid = [&](idx_t i, idx_t j, idx_t k) { return i + vnx * (j + vny * k); };
+
+  mesh.vertices.resize(vnx * vny * vnz);
+  std::mt19937_64 rng(spec.jitterSeed);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  auto localSpacing = [&](const std::vector<double>& pl, idx_t i) {
+    double h = 1e300;
+    if (i > 0) h = std::min(h, pl[i] - pl[i - 1]);
+    if (i + 1 < static_cast<idx_t>(pl.size())) h = std::min(h, pl[i + 1] - pl[i]);
+    return h;
+  };
+  // Draw jitter displacements first so that vertices identified by periodic
+  // wrapping share the same displacement — otherwise the periodic interface
+  // would be geometrically non-conforming (an O(1) flux inconsistency).
+  std::vector<std::array<double, 3>> disp;
+  if (spec.jitter > 0.0) {
+    disp.resize(vnx * vny * vnz);
+    for (idx_t k = 0; k < vnz; ++k)
+      for (idx_t j = 0; j < vny; ++j)
+        for (idx_t i = 0; i < vnx; ++i) {
+          const bool interior[3] = {i > 0 && i < nx, j > 0 && j < ny, k > 0 && k < nz};
+          const double h[3] = {localSpacing(spec.planes[0], i), localSpacing(spec.planes[1], j),
+                               localSpacing(spec.planes[2], k)};
+          for (int_t a = 0; a < 3; ++a) {
+            const double r = uni(rng); // always draw: deterministic vertex stream
+            disp[vid(i, j, k)][a] = interior[a] ? spec.jitter * 0.5 * h[a] * r : 0.0;
+          }
+        }
+  }
+  for (idx_t k = 0; k < vnz; ++k)
+    for (idx_t j = 0; j < vny; ++j)
+      for (idx_t i = 0; i < vnx; ++i) {
+        std::array<double, 3> x = {spec.planes[0][i], spec.planes[1][j], spec.planes[2][k]};
+        if (spec.jitter > 0.0) {
+          const idx_t ii = (spec.periodic[0] && i == nx) ? 0 : i;
+          const idx_t jj = (spec.periodic[1] && j == ny) ? 0 : j;
+          const idx_t kk = (spec.periodic[2] && k == nz) ? 0 : k;
+          const auto& d = disp[vid(ii, jj, kk)];
+          for (int_t a = 0; a < 3; ++a) x[a] += d[a];
+        }
+        mesh.vertices[vid(i, j, k)] = x;
+      }
+
+  mesh.elements.reserve(static_cast<std::size_t>(nx) * ny * nz * 6);
+  for (idx_t k = 0; k < nz; ++k)
+    for (idx_t j = 0; j < ny; ++j)
+      for (idx_t i = 0; i < nx; ++i)
+        for (const auto& perm : kAxisPerms) {
+          std::array<idx_t, 3> c = {i, j, k};
+          std::array<idx_t, 4> tet;
+          tet[0] = vid(c[0], c[1], c[2]);
+          for (int_t step = 0; step < 3; ++step) {
+            c[perm[step]] += 1;
+            tet[step + 1] = vid(c[0], c[1], c[2]);
+          }
+          mesh.elements.push_back(tet);
+        }
+
+  fixOrientation(mesh);
+
+  // Periodic vertex identification keys.
+  std::vector<idx_t> vertexKey;
+  if (spec.periodic[0] || spec.periodic[1] || spec.periodic[2]) {
+    vertexKey.resize(mesh.vertices.size());
+    for (idx_t k = 0; k < vnz; ++k)
+      for (idx_t j = 0; j < vny; ++j)
+        for (idx_t i = 0; i < vnx; ++i) {
+          idx_t ii = (spec.periodic[0] && i == nx) ? 0 : i;
+          idx_t jj = (spec.periodic[1] && j == ny) ? 0 : j;
+          idx_t kk = (spec.periodic[2] && k == nz) ? 0 : k;
+          vertexKey[vid(i, j, k)] = vid(ii, jj, kk);
+        }
+  }
+
+  buildConnectivity(mesh, vertexKey, spec.boundaryKind);
+
+  if (spec.freeSurfaceTop && !spec.periodic[2]) {
+    const double zTop = spec.planes[2].back();
+    for (idx_t el = 0; el < mesh.numElements(); ++el)
+      for (int_t f = 0; f < 4; ++f) {
+        if (mesh.faces[el][f].neighbor >= 0) continue;
+        const auto tri = mesh.faceVertices(el, f);
+        bool onTop = true;
+        for (idx_t v : tri) onTop = onTop && std::fabs(mesh.vertices[v][2] - zTop) < 1e-12;
+        if (onTop) mesh.faces[el][f].kind = FaceKind::kFreeSurface;
+      }
+  }
+  return mesh;
+}
+
+} // namespace nglts::mesh

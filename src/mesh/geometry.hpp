@@ -1,0 +1,50 @@
+#pragma once
+// Per-element affine geometry: reference->physical mapping, volumes,
+// insphere radii (CFL), and per-face areas/normals/tangent frames needed by
+// the Godunov flux solvers and the surface kernels.
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace nglts::mesh {
+
+struct FaceGeometry {
+  std::array<double, 3> normal;   ///< unit outward normal
+  std::array<double, 3> tangent1; ///< unit tangent
+  std::array<double, 3> tangent2; ///< unit tangent, n x t1
+  double area = 0.0;
+};
+
+struct ElementGeometry {
+  /// Jacobian of the map x = v0 + J * xi (columns are edge vectors).
+  std::array<std::array<double, 3>, 3> jac;
+  /// Inverse Jacobian: dxi/dx.
+  std::array<std::array<double, 3>, 3> invJac;
+  double detJac = 0.0;  ///< = 6 * volume (positive after fixOrientation)
+  double volume = 0.0;
+  double inradius = 0.0; ///< insphere radius, used for the CFL time step
+  std::array<FaceGeometry, 4> face;
+  /// Surface scaling 2*|S_i| / |detJ| entering the surface kernels.
+  std::array<double, 4> fluxScale;
+};
+
+/// Compute geometry for one element.
+ElementGeometry computeElementGeometry(const TetMesh& mesh, idx_t el);
+
+/// Compute geometry for all elements.
+std::vector<ElementGeometry> computeGeometry(const TetMesh& mesh);
+
+/// Map a physical point into element-local reference coordinates.
+std::array<double, 3> physicalToReference(const TetMesh& mesh, const ElementGeometry& geo,
+                                          idx_t el, const std::array<double, 3>& x);
+
+/// True if reference coordinates lie inside the reference tet (with slack).
+bool insideReference(const std::array<double, 3>& xi, double tol = 1e-9);
+
+/// Locate the element containing a physical point (linear scan; -1 if none).
+idx_t locatePoint(const TetMesh& mesh, const std::vector<ElementGeometry>& geo,
+                  const std::array<double, 3>& x);
+
+} // namespace nglts::mesh

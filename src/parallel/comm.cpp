@@ -1,0 +1,52 @@
+#include "parallel/comm.hpp"
+
+#include <stdexcept>
+
+namespace nglts::parallel {
+
+SeqComm::SeqComm(int_t ranks) : Communicator(ranks) {}
+
+void SeqComm::send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) {
+  bytes_ += data.size();
+  box_[{from, to, tag}].push(std::move(data));
+}
+
+std::vector<std::uint8_t> SeqComm::recv(int_t to, int_t from, std::int64_t tag) {
+  auto it = box_.find({from, to, tag});
+  if (it == box_.end() || it->second.empty())
+    throw std::runtime_error("SeqComm::recv: message not available — schedule violation");
+  std::vector<std::uint8_t> data = std::move(it->second.front());
+  it->second.pop();
+  return data;
+}
+
+ThreadComm::ThreadComm(int_t ranks) : Communicator(ranks) {}
+
+void ThreadComm::send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_ += data.size();
+    box_[{from, to, tag}].push(std::move(data));
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::uint8_t> ThreadComm::recv(int_t to, int_t from, std::int64_t tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto key = std::make_tuple(from, to, tag);
+  cv_.wait(lock, [&] {
+    auto it = box_.find(key);
+    return it != box_.end() && !it->second.empty();
+  });
+  auto& q = box_[key];
+  std::vector<std::uint8_t> data = std::move(q.front());
+  q.pop();
+  return data;
+}
+
+std::uint64_t ThreadComm::bytesSent() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mutex_));
+  return bytes_;
+}
+
+} // namespace nglts::parallel

@@ -1,0 +1,66 @@
+#pragma once
+// In-process message passing substrate (MPI substitute, see DESIGN.md):
+// typed point-to-point channels with per-(source, destination, tag) FIFO
+// ordering — the guarantee MPI provides per communicator/tag.
+//  * SeqComm    — deterministic single-threaded execution (ranks are
+//                 interleaved by the caller; receives must find data).
+//  * ThreadComm — one std::thread per rank; receives block.
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::parallel {
+
+class Communicator {
+ public:
+  explicit Communicator(int_t ranks) : ranks_(ranks) {}
+  virtual ~Communicator() = default;
+
+  int_t ranks() const { return ranks_; }
+
+  virtual void send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) = 0;
+  /// Pop the oldest message on (from -> to, tag).
+  virtual std::vector<std::uint8_t> recv(int_t to, int_t from, std::int64_t tag) = 0;
+
+  /// Total payload bytes sent so far (for the communication experiments).
+  virtual std::uint64_t bytesSent() const = 0;
+
+ protected:
+  int_t ranks_;
+};
+
+/// Deterministic non-blocking mailbox; recv throws if the message has not
+/// been sent yet (a schedule bug).
+class SeqComm final : public Communicator {
+ public:
+  explicit SeqComm(int_t ranks);
+  void send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) override;
+  std::vector<std::uint8_t> recv(int_t to, int_t from, std::int64_t tag) override;
+  std::uint64_t bytesSent() const override { return bytes_; }
+
+ private:
+  std::map<std::tuple<int_t, int_t, std::int64_t>, std::queue<std::vector<std::uint8_t>>> box_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Thread-safe blocking mailbox.
+class ThreadComm final : public Communicator {
+ public:
+  explicit ThreadComm(int_t ranks);
+  void send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) override;
+  std::vector<std::uint8_t> recv(int_t to, int_t from, std::int64_t tag) override;
+  std::uint64_t bytesSent() const override;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::tuple<int_t, int_t, std::int64_t>, std::queue<std::vector<std::uint8_t>>> box_;
+  std::uint64_t bytes_ = 0;
+};
+
+} // namespace nglts::parallel

@@ -1,0 +1,304 @@
+#include "parallel/dist_sim.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "basis/quadrature.hpp"
+
+namespace nglts::parallel {
+
+namespace {
+std::atomic<std::uint64_t> g_msgCounter{0};
+}
+
+template <typename Real, int W>
+DistributedSimulation<Real, W>::DistributedSimulation(mesh::TetMesh mesh,
+                                                      std::vector<physics::Material> materials,
+                                                      std::vector<int_t> partition,
+                                                      DistConfig config)
+    : cfg_(config),
+      mesh_(std::move(mesh)),
+      materials_(std::move(materials)),
+      part_(std::move(partition)) {
+  numRanks_ = 0;
+  for (int_t p : part_) numRanks_ = std::max(numRanks_, p + 1);
+  if (numRanks_ < 1) throw std::runtime_error("DistributedSimulation: empty partition");
+
+  geo_ = mesh::computeGeometry(mesh_);
+  const auto dtCfl = lts::cflTimeSteps(geo_, materials_, cfg_.order, cfg_.cfl);
+  clustering_ = lts::buildClustering(mesh_, dtCfl, cfg_.numClusters, cfg_.lambda);
+  schedule_ = lts::buildSchedule(cfg_.numClusters);
+  lts::checkSchedule(schedule_, cfg_.numClusters);
+
+  rankClusterElems_.assign(numRanks_,
+                           std::vector<std::vector<idx_t>>(cfg_.numClusters));
+  for (idx_t e = 0; e < mesh_.numElements(); ++e)
+    rankClusterElems_[part_[e]][clustering_.cluster[e]].push_back(e);
+  clusterStep_.assign(static_cast<std::size_t>(numRanks_) * cfg_.numClusters, 0);
+
+  std::vector<double> omega;
+  if (cfg_.mechanisms > 0) {
+    for (const auto& m : materials_)
+      if (m.mechanisms() >= cfg_.mechanisms) {
+        omega.assign(m.omega.begin(), m.omega.begin() + cfg_.mechanisms);
+        break;
+      }
+  }
+  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
+                                                             cfg_.sparseKernels, omega);
+  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo_, materials_, cfg_.mechanisms);
+
+  const idx_t k = mesh_.numElements();
+  q_.assign(k * elSize(), Real(0));
+  b1_.assign(k * bufSize(), Real(0));
+  if (cfg_.numClusters > 1) {
+    b2_.assign(k * bufSize(), Real(0));
+    b3_.assign(k * bufSize(), Real(0));
+  }
+
+  ghostSlot_.assign(k * 4, -1);
+  for (idx_t e = 0; e < k; ++e)
+    for (int_t f = 0; f < 4; ++f) {
+      const auto& fi = mesh_.faces[e][f];
+      if (fi.neighbor >= 0 && part_[fi.neighbor] != part_[e]) {
+        ghostSlot_[e * 4 + f] = static_cast<idx_t>(ghost_.size());
+        ghost_.emplace_back();
+      }
+    }
+
+  if (cfg_.threaded)
+    comm_ = std::make_unique<ThreadComm>(numRanks_);
+  else
+    comm_ = std::make_unique<SeqComm>(numRanks_);
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::setInitialCondition(const InitFn& f) {
+  const auto quad = basis::tetQuadrature(cfg_.order + 2);
+  const auto& tet = *kernels_->globalMatrices().tet;
+  const int_t nb = kernels_->numBasis();
+#pragma omp parallel for schedule(static)
+  for (idx_t el = 0; el < mesh_.numElements(); ++el) {
+    Real* q = &q_[el * elSize()];
+    linalg::zeroBlock(q, elSize());
+    const auto& v0 = mesh_.vertices[mesh_.elements[el][0]];
+    for (const auto& qp : quad) {
+      std::array<double, 3> x = v0;
+      for (int_t r = 0; r < 3; ++r)
+        for (int_t c = 0; c < 3; ++c) x[r] += geo_[el].jac[r][c] * qp.xi[c];
+      const auto phi = tet.evalAll(qp.xi);
+      for (int_t lane = 0; lane < W; ++lane) {
+        double q9[kElasticVars];
+        f(x, lane, q9);
+        for (int_t v = 0; v < kElasticVars; ++v)
+          for (int_t b = 0; b < nb; ++b)
+            q[(static_cast<std::size_t>(v) * nb + b) * W + lane] +=
+                static_cast<Real>(qp.weight * q9[v] * phi[b]);
+      }
+    }
+  }
+}
+
+template <typename Real, int W>
+std::vector<std::uint8_t> DistributedSimulation<Real, W>::packPayload(const Real* data,
+                                                                      std::size_t n) const {
+  std::vector<std::uint8_t> raw(n * sizeof(Real));
+  std::memcpy(raw.data(), data, raw.size());
+  return raw;
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::unpackPayload(const std::vector<std::uint8_t>& raw,
+                                                   std::vector<Real>& out) const {
+  out.resize(raw.size() / sizeof(Real));
+  std::memcpy(out.data(), raw.data(), raw.size());
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::sendFaceData(
+    idx_t el, int_t face, idx_t step, typename kernels::AderKernels<Real, W>::Scratch& s) {
+  const auto& fi = mesh_.faces[el][face];
+  const int_t cMe = clustering_.cluster[el];
+  const int_t cNb = clustering_.cluster[fi.neighbor];
+  const std::size_t faceN = kernels_->faceDataSize();
+  const std::size_t bufN = bufSize();
+  const Real* b1 = &b1_[el * bufSize()];
+
+  // Receiver-side neighbor flux matrix selector: the receiver's own face
+  // orientation permutation (sender-side compression, Sec. V-C).
+  const int_t recvPerm = mesh_.faces[fi.neighbor][fi.neighborFace].perm;
+
+  auto shipOne = [&](const Real* data) {
+    std::vector<std::uint8_t> payload;
+    if (cfg_.compressFaces) {
+      kernels_->compressBuffer(face, recvPerm, data, s.faceProj.data());
+      payload = packPayload(s.faceProj.data(), faceN);
+    } else {
+      payload = packPayload(data, bufN);
+    }
+    comm_->send(part_[el], part_[fi.neighbor], faceTag(el, face), std::move(payload));
+    ++g_msgCounter;
+  };
+
+  if (cNb == cMe) {
+    shipOne(b1);
+  } else if (cNb < cMe) {
+    // Smaller neighbor: ship B2 and B1 - B2 in one message.
+    const Real* b2 = &b2_[el * bufSize()];
+    std::vector<Real> both(2 * (cfg_.compressFaces ? faceN : bufN));
+    Real* combo = s.bufCombo.data();
+#pragma omp simd
+    for (std::size_t i = 0; i < bufN; ++i) combo[i] = b1[i] - b2[i];
+    if (cfg_.compressFaces) {
+      kernels_->compressBuffer(face, recvPerm, b2, both.data());
+      kernels_->compressBuffer(face, recvPerm, combo, both.data() + faceN);
+    } else {
+      linalg::copyBlock(both.data(), b2, bufN);
+      linalg::copyBlock(both.data() + bufN, combo, bufN);
+    }
+    comm_->send(part_[el], part_[fi.neighbor], faceTag(el, face),
+                packPayload(both.data(), both.size()));
+    ++g_msgCounter;
+  } else {
+    // Larger neighbor: B3 is complete after odd steps only.
+    if (step % 2 == 1) shipOne(&b3_[el * bufSize()]);
+  }
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::localPhase(
+    int_t rank, int_t cluster, typename kernels::AderKernels<Real, W>::Scratch& s) {
+  const double dt = clustering_.clusterDt[cluster];
+  const idx_t step = clusterStep_[static_cast<std::size_t>(rank) * cfg_.numClusters + cluster];
+  const bool odd = (step % 2) != 0;
+  for (idx_t el : rankClusterElems_[rank][cluster]) {
+    Real* q = &q_[el * elSize()];
+    Real* b1 = &b1_[el * bufSize()];
+    Real* b2 = b2_.empty() ? nullptr : &b2_[el * bufSize()];
+    Real* b3 = b3_.empty() ? nullptr : &b3_[el * bufSize()];
+    kernels_->timePredict(elementData_[el], q, static_cast<Real>(dt), s.timeInt.data(), b1, b2,
+                          b3, odd, s);
+    kernels_->volumeAndLocalSurface(elementData_[el], s.timeInt.data(), q, s);
+    for (int_t f = 0; f < 4; ++f)
+      if (ghostSlot_[el * 4 + f] >= 0) sendFaceData(el, f, step, s);
+  }
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::neighborPhase(
+    int_t rank, int_t cluster, typename kernels::AderKernels<Real, W>::Scratch& s) {
+  idx_t& step = clusterStep_[static_cast<std::size_t>(rank) * cfg_.numClusters + cluster];
+  for (idx_t el : rankClusterElems_[rank][cluster]) {
+    Real* q = &q_[el * elSize()];
+    for (int_t f = 0; f < 4; ++f) {
+      const auto& fi = mesh_.faces[el][f];
+      if (fi.neighbor < 0) continue;
+      const int_t cNb = clustering_.cluster[fi.neighbor];
+      const idx_t slot = ghostSlot_[el * 4 + f];
+      if (slot < 0) {
+        // Same-rank face: read the neighbor's buffers directly.
+        const Real* data = nullptr;
+        if (cNb == cluster) {
+          data = &b1_[fi.neighbor * bufSize()];
+        } else if (cNb < cluster) {
+          data = &b3_[fi.neighbor * bufSize()];
+        } else if (step % 2 == 0) {
+          data = &b2_[fi.neighbor * bufSize()];
+        } else {
+          const Real* nb1 = &b1_[fi.neighbor * bufSize()];
+          const Real* nb2 = &b2_[fi.neighbor * bufSize()];
+          Real* combo = s.bufCombo.data();
+#pragma omp simd
+          for (std::size_t i = 0; i < bufSize(); ++i) combo[i] = nb1[i] - nb2[i];
+          data = combo;
+        }
+        kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm, data, q, s);
+        continue;
+      }
+      // Cross-rank face.
+      auto& gh = ghost_[slot];
+      const std::int64_t tag = faceTag(fi.neighbor, fi.neighborFace);
+      const std::size_t faceN = kernels_->faceDataSize();
+      const std::size_t dataN = cfg_.compressFaces ? faceN : bufSize();
+      const Real* data = nullptr;
+      if (cNb == cluster || cNb < cluster) {
+        std::vector<Real> tmp;
+        unpackPayload(comm_->recv(part_[el], part_[fi.neighbor], tag), tmp);
+        gh[0].assign(tmp.begin(), tmp.end());
+        data = gh[0].data();
+      } else {
+        if (step % 2 == 0) {
+          std::vector<Real> tmp;
+          unpackPayload(comm_->recv(part_[el], part_[fi.neighbor], tag), tmp);
+          gh[0].assign(tmp.begin(), tmp.begin() + dataN);
+          gh[1].assign(tmp.begin() + dataN, tmp.end());
+          data = gh[0].data();
+        } else {
+          data = gh[1].data();
+        }
+      }
+      if (cfg_.compressFaces)
+        kernels_->neighborContributionFaceLocal(elementData_[el], f, data, q, s);
+      else
+        kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm, data, q,
+                                       s);
+    }
+  }
+  ++step;
+}
+
+template <typename Real, int W>
+DistStats DistributedSimulation<Real, W>::run(double endTime) {
+  DistStats stats;
+  const double dtCycle = cycleDt();
+  const std::uint64_t cycles = static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
+  const std::uint64_t msg0 = g_msgCounter.load();
+  const std::uint64_t bytes0 = comm_->bytesSent();
+
+  std::uint64_t updatesPerCycle = 0;
+  for (int_t l = 0; l < cfg_.numClusters; ++l)
+    for (int_t r = 0; r < numRanks_; ++r)
+      updatesPerCycle +=
+          rankClusterElems_[r][l].size() * lts::stepsPerCycle(cfg_.numClusters, l);
+
+  Timer timer;
+  if (!cfg_.threaded) {
+    auto scratch = kernels_->makeScratch();
+    for (std::uint64_t c = 0; c < cycles; ++c)
+      for (const auto& op : schedule_)
+        for (int_t r = 0; r < numRanks_; ++r) {
+          if (op.kind == lts::PhaseKind::kLocal)
+            localPhase(r, op.cluster, scratch);
+          else
+            neighborPhase(r, op.cluster, scratch);
+        }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(numRanks_);
+    for (int_t r = 0; r < numRanks_; ++r)
+      threads.emplace_back([this, r, cycles] {
+        auto scratch = kernels_->makeScratch();
+        for (std::uint64_t c = 0; c < cycles; ++c)
+          for (const auto& op : schedule_) {
+            if (op.kind == lts::PhaseKind::kLocal)
+              localPhase(r, op.cluster, scratch);
+            else
+              neighborPhase(r, op.cluster, scratch);
+          }
+      });
+    for (auto& t : threads) t.join();
+  }
+  stats.seconds = timer.seconds();
+  stats.cycles = cycles;
+  stats.simulatedTime = cycles * dtCycle;
+  stats.elementUpdates = cycles * updatesPerCycle;
+  stats.commBytes = comm_->bytesSent() - bytes0;
+  stats.messages = g_msgCounter.load() - msg0;
+  return stats;
+}
+
+template class DistributedSimulation<float, 1>;
+template class DistributedSimulation<double, 1>;
+
+} // namespace nglts::parallel

@@ -1,0 +1,65 @@
+#include "partition/dual_graph.hpp"
+
+#include "lts/schedule.hpp"
+
+namespace nglts::partition {
+
+double DualGraph::totalVertexWeight() const {
+  double s = 0.0;
+  for (double w : vertexWeight) s += w;
+  return s;
+}
+
+namespace {
+
+DualGraph buildImpl(const mesh::TetMesh& mesh, const lts::Clustering* clustering) {
+  DualGraph g;
+  g.numVertices = mesh.numElements();
+  g.adjPtr.assign(g.numVertices + 1, 0);
+  g.vertexWeight.resize(g.numVertices);
+
+  const int_t nc = clustering ? clustering->numClusters : 1;
+  for (idx_t e = 0; e < g.numVertices; ++e) {
+    const int_t cl = clustering ? clustering->cluster[e] : 0;
+    g.vertexWeight[e] = static_cast<double>(lts::stepsPerCycle(nc, cl));
+    for (int_t f = 0; f < 4; ++f)
+      if (mesh.faces[e][f].neighbor >= 0) ++g.adjPtr[e + 1];
+  }
+  for (idx_t e = 0; e < g.numVertices; ++e) g.adjPtr[e + 1] += g.adjPtr[e];
+
+  g.adjList.resize(g.adjPtr.back());
+  g.edgeWeight.resize(g.adjPtr.back());
+  std::vector<idx_t> fill(g.numVertices, 0);
+  for (idx_t e = 0; e < g.numVertices; ++e)
+    for (int_t f = 0; f < 4; ++f) {
+      const idx_t nb = mesh.faces[e][f].neighbor;
+      if (nb < 0) continue;
+      // Datasets per cycle this side would send if the edge were cut.
+      double w = 1.0;
+      if (clustering) {
+        const int_t cMe = clustering->cluster[e];
+        const int_t cNb = clustering->cluster[nb];
+        const idx_t mySteps = lts::stepsPerCycle(nc, cMe);
+        if (cNb == cMe)
+          w = static_cast<double>(mySteps);
+        else if (cNb > cMe)
+          w = 2.0 * mySteps; // B2 and B1-B2 per own step
+        else
+          w = mySteps / 2.0; // B3 once per two steps
+      }
+      const idx_t slot = g.adjPtr[e] + fill[e]++;
+      g.adjList[slot] = nb;
+      g.edgeWeight[slot] = w;
+    }
+  return g;
+}
+
+} // namespace
+
+DualGraph buildDualGraph(const mesh::TetMesh& mesh, const lts::Clustering& clustering) {
+  return buildImpl(mesh, &clustering);
+}
+
+DualGraph buildDualGraphUniform(const mesh::TetMesh& mesh) { return buildImpl(mesh, nullptr); }
+
+} // namespace nglts::partition

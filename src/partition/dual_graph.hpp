@@ -1,0 +1,33 @@
+#pragma once
+// Weighted dual graph of a tet mesh (paper Sec. V-C): vertices are elements
+// with computation weights 2^(Nc - 1 - cluster); edges are interior faces
+// with weights proportional to the communication volume and frequency of the
+// adjacent elements.
+#include <vector>
+
+#include "common/types.hpp"
+#include "lts/clustering.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace nglts::partition {
+
+struct DualGraph {
+  idx_t numVertices = 0;
+  std::vector<idx_t> adjPtr;    ///< CSR offsets (numVertices + 1)
+  std::vector<idx_t> adjList;   ///< neighbor element ids
+  std::vector<double> edgeWeight; ///< parallel to adjList
+  std::vector<double> vertexWeight;
+
+  double totalVertexWeight() const;
+};
+
+/// Build the dual graph with the paper's LTS weights. Elements of cluster l
+/// get weight 2^(Nc-1-l) (update frequency); a face's weight is the number
+/// of datasets shipped across it per cycle (B1 per step for equal clusters,
+/// B2 + (B1-B2) per smaller-side step, B3 once per two steps).
+DualGraph buildDualGraph(const mesh::TetMesh& mesh, const lts::Clustering& clustering);
+
+/// Uniform-weight variant (GTS partitioning).
+DualGraph buildDualGraphUniform(const mesh::TetMesh& mesh);
+
+} // namespace nglts::partition

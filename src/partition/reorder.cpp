@@ -1,0 +1,48 @@
+#include "partition/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nglts::partition {
+
+Reordering buildReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& part,
+                           const std::vector<int_t>& cluster) {
+  const idx_t n = mesh.numElements();
+  std::vector<int_t> commRole(n, 0);
+  for (idx_t e = 0; e < n; ++e)
+    for (int_t f = 0; f < 4; ++f) {
+      const idx_t nb = mesh.faces[e][f].neighbor;
+      if (nb >= 0 && part[nb] != part[e]) commRole[e] = 1;
+    }
+
+  Reordering r;
+  r.oldId.resize(n);
+  std::iota(r.oldId.begin(), r.oldId.end(), idx_t{0});
+  std::stable_sort(r.oldId.begin(), r.oldId.end(), [&](idx_t a, idx_t b) {
+    if (part[a] != part[b]) return part[a] < part[b];
+    if (cluster[a] != cluster[b]) return cluster[a] < cluster[b];
+    return commRole[a] < commRole[b];
+  });
+  r.newId.resize(n);
+  for (idx_t e = 0; e < n; ++e) r.newId[r.oldId[e]] = e;
+  return r;
+}
+
+mesh::TetMesh applyReordering(const mesh::TetMesh& mesh, const Reordering& r) {
+  mesh::TetMesh out;
+  out.vertices = mesh.vertices;
+  const idx_t n = mesh.numElements();
+  out.elements.resize(n);
+  out.faces.resize(n);
+  for (idx_t e = 0; e < n; ++e) {
+    const idx_t src = r.oldId[e];
+    out.elements[e] = mesh.elements[src];
+    out.faces[e] = mesh.faces[src];
+    for (int_t f = 0; f < 4; ++f)
+      if (out.faces[e][f].neighbor >= 0)
+        out.faces[e][f].neighbor = r.newId[out.faces[e][f].neighbor];
+  }
+  return out;
+}
+
+} // namespace nglts::partition

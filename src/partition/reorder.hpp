@@ -1,0 +1,37 @@
+#pragma once
+// Mesh reordering by (partition, time cluster, communication role)
+// — paper Sec. VI: the reorder simplifies bookkeeping and makes the time /
+// volume / local-surface kernels stream linearly through memory.
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace nglts::partition {
+
+struct Reordering {
+  /// newId[oldId] — where each element moved.
+  std::vector<idx_t> newId;
+  /// oldId[newId] — inverse permutation.
+  std::vector<idx_t> oldId;
+};
+
+/// Compute the (partition, cluster, comm-role) ordering. Elements with a
+/// face neighbor in another partition ("send" elements) are grouped after
+/// the interior elements of the same (partition, cluster) block.
+Reordering buildReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& part,
+                           const std::vector<int_t>& cluster);
+
+/// Apply a reordering: permutes elements and remaps the face adjacency.
+/// Per-element attributes must be permuted by the caller via `oldId`.
+mesh::TetMesh applyReordering(const mesh::TetMesh& mesh, const Reordering& r);
+
+/// Permute a per-element attribute vector into the new order.
+template <typename T>
+std::vector<T> permute(const std::vector<T>& attr, const Reordering& r) {
+  std::vector<T> out(attr.size());
+  for (std::size_t e = 0; e < attr.size(); ++e) out[e] = attr[r.oldId[e]];
+  return out;
+}
+
+} // namespace nglts::partition

@@ -1,0 +1,102 @@
+#include "physics/attenuation.hpp"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/dense.hpp"
+
+namespace nglts::physics {
+
+QFit fitConstantQ(double q, int_t mechanisms, double fCentral, double fRatio) {
+  if (mechanisms < 1) throw std::runtime_error("fitConstantQ: need >= 1 mechanism");
+  QFit fit;
+  const double wMin = 2.0 * std::numbers::pi * fCentral / std::sqrt(fRatio);
+  const double wMax = 2.0 * std::numbers::pi * fCentral * std::sqrt(fRatio);
+  fit.omega.resize(mechanisms);
+  if (mechanisms == 1) {
+    fit.omega[0] = 2.0 * std::numbers::pi * fCentral;
+  } else {
+    for (int_t l = 0; l < mechanisms; ++l)
+      fit.omega[l] = wMin * std::pow(wMax / wMin, static_cast<double>(l) / (mechanisms - 1));
+  }
+
+  // Sample frequencies: 2m - 1 log-spaced points across the band.
+  const int_t nSample = 2 * mechanisms - 1;
+  std::vector<double> ws(nSample);
+  if (nSample == 1) {
+    ws[0] = 2.0 * std::numbers::pi * fCentral;
+  } else {
+    for (int_t k = 0; k < nSample; ++k)
+      ws[k] = wMin * std::pow(wMax / wMin, static_cast<double>(k) / (nSample - 1));
+  }
+
+  // Exact constant-Q condition M_I(w) - M_R(w)/Q = 0 linearized in Y:
+  //   sum_l Y_l (w_l w + w_l^2 / Q) / (w_l^2 + w^2) = 1 / Q.
+  linalg::Matrix a(nSample, mechanisms);
+  std::vector<double> rhs(nSample, 1.0 / q);
+  for (int_t k = 0; k < nSample; ++k)
+    for (int_t l = 0; l < mechanisms; ++l) {
+      const double wl = fit.omega[l];
+      a(k, l) = (wl * ws[k] + wl * wl / q) / (wl * wl + ws[k] * ws[k]);
+    }
+  if (!linalg::leastSquares(a, rhs, fit.y))
+    throw std::runtime_error("fitConstantQ: singular least-squares system");
+  return fit;
+}
+
+namespace {
+std::complex<double> modulusFactor(const QFit& fit, double w) {
+  std::complex<double> psi(1.0, 0.0);
+  for (std::size_t l = 0; l < fit.omega.size(); ++l) {
+    const double wl = fit.omega[l];
+    psi -= fit.y[l] * wl / std::complex<double>(wl, w);
+  }
+  return psi;
+}
+} // namespace
+
+double fitQuality(const QFit& fit, double w) {
+  const std::complex<double> psi = modulusFactor(fit, w);
+  return psi.real() / psi.imag();
+}
+
+double unrelaxedScale(const QFit& fit, double w) {
+  // 1/v_phase = Re(sqrt(rho / (M_u psi))) => M_u = rho v^2 [Re(psi^{-1/2})]^2.
+  const std::complex<double> psi = modulusFactor(fit, w);
+  const double re = (1.0 / std::sqrt(psi)).real();
+  return re * re;
+}
+
+Material viscoElasticMaterial(double rho, double vp, double vs, double qp, double qs,
+                              int_t mechanisms, double fCentral, double fRatio) {
+  if (mechanisms <= 0 || !std::isfinite(qp) || !std::isfinite(qs))
+    return elasticMaterial(rho, vp, vs);
+
+  const QFit fitP = fitConstantQ(qp, mechanisms, fCentral, fRatio);
+  const QFit fitS = fitConstantQ(qs, mechanisms, fCentral, fRatio);
+  const double wRef = 2.0 * std::numbers::pi * fCentral;
+
+  // Unrelaxed moduli so phase velocities at wRef match (vp, vs).
+  const double mpU = rho * vp * vp * unrelaxedScale(fitP, wRef);
+  const double muU = rho * vs * vs * unrelaxedScale(fitS, wRef);
+
+  Material m;
+  m.rho = rho;
+  m.mu = muU;
+  m.lambda = mpU - 2.0 * muU;
+  m.omega = fitP.omega; // both fits share the same relaxation frequencies
+  m.yLambda.resize(mechanisms);
+  m.yMu.resize(mechanisms);
+  for (int_t l = 0; l < mechanisms; ++l) {
+    // Stored premultiplied: yMu = mu * Y_mu, yLambda = lambda * Y_lambda with
+    // (lambda + 2 mu) Y_p = lambda Y_lambda + 2 mu Y_mu.
+    m.yMu[l] = muU * fitS.y[l];
+    m.yLambda[l] = mpU * fitP.y[l] - 2.0 * muU * fitS.y[l];
+  }
+  return m;
+}
+
+} // namespace nglts::physics

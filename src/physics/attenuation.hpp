@@ -1,0 +1,37 @@
+#pragma once
+// Frequency-independent ("constant") Q approximation with a generalized
+// Maxwell body: least-squares fit of the anelastic coefficients Y_l at
+// 2m - 1 log-spaced frequencies (Emmerich & Korn), plus the unrelaxed-moduli
+// correction so phase velocities at the reference frequency match the model.
+#include <vector>
+
+#include "common/types.hpp"
+#include "physics/material.hpp"
+
+namespace nglts::physics {
+
+struct QFit {
+  std::vector<double> omega; ///< relaxation frequencies [rad/s]
+  std::vector<double> y;     ///< dimensionless anelastic coefficients Y_l
+};
+
+/// Fit m mechanisms to a target constant quality factor `q` over the band
+/// [fCentral/sqrt(fRatio), fCentral*sqrt(fRatio)] (frequencies in Hz).
+QFit fitConstantQ(double q, int_t mechanisms, double fCentral, double fRatio = 100.0);
+
+/// Effective quality factor of a fit at angular frequency w (for testing the
+/// flatness of the fit): Q(w) = M_R / M_I of the complex modulus factor.
+double fitQuality(const QFit& fit, double w);
+
+/// Complex-modulus real factor used for the unrelaxed-modulus correction:
+/// returns [Re(psi(w)^{-1/2})]^{-2} so that M_u = rho v^2 * (returned value)
+/// yields the requested phase velocity v at angular frequency w.
+double unrelaxedScale(const QFit& fit, double w);
+
+/// Build a viscoelastic material with given wave speeds at the reference
+/// frequency and constant quality factors Qp / Qs. Passing mechanisms = 0 or
+/// non-finite Q values yields a purely elastic material.
+Material viscoElasticMaterial(double rho, double vp, double vs, double qp, double qs,
+                              int_t mechanisms, double fCentral, double fRatio = 100.0);
+
+} // namespace nglts::physics

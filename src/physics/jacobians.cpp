@@ -1,0 +1,106 @@
+#include "physics/jacobians.hpp"
+
+#include <cassert>
+
+namespace nglts::physics {
+
+linalg::Matrix elasticJacobian(const Material& mat, int_t dir) {
+  assert(dir >= 0 && dir < 3);
+  linalg::Matrix a(kElasticVars, kElasticVars);
+  const double lp2m = mat.lambda + 2.0 * mat.mu;
+  const double lam = mat.lambda;
+  const double mu = mat.mu;
+  const double irho = 1.0 / mat.rho;
+  switch (dir) {
+    case 0: // A: x-direction
+      a(kSxx, kVelU) = -lp2m;
+      a(kSyy, kVelU) = -lam;
+      a(kSzz, kVelU) = -lam;
+      a(kSxy, kVelV) = -mu;
+      a(kSxz, kVelW) = -mu;
+      a(kVelU, kSxx) = -irho;
+      a(kVelV, kSxy) = -irho;
+      a(kVelW, kSxz) = -irho;
+      break;
+    case 1: // B: y-direction
+      a(kSxx, kVelV) = -lam;
+      a(kSyy, kVelV) = -lp2m;
+      a(kSzz, kVelV) = -lam;
+      a(kSxy, kVelU) = -mu;
+      a(kSyz, kVelW) = -mu;
+      a(kVelU, kSxy) = -irho;
+      a(kVelV, kSyy) = -irho;
+      a(kVelW, kSyz) = -irho;
+      break;
+    default: // C: z-direction
+      a(kSxx, kVelW) = -lam;
+      a(kSyy, kVelW) = -lam;
+      a(kSzz, kVelW) = -lp2m;
+      a(kSyz, kVelV) = -mu;
+      a(kSxz, kVelU) = -mu;
+      a(kVelU, kSxz) = -irho;
+      a(kVelV, kSyz) = -irho;
+      a(kVelW, kSzz) = -irho;
+      break;
+  }
+  return a;
+}
+
+linalg::Matrix anelasticJacobian(int_t dir) {
+  assert(dir >= 0 && dir < 3);
+  // Memory variable order per mechanism: (xx, yy, zz, xy, yz, xz); the
+  // equations are theta_t + omega * Aa q_x = -omega * theta with
+  // Aa-entries such that theta relaxes toward the strain rates.
+  linalg::Matrix a(kAnelasticVarsPerMech, kElasticVars);
+  switch (dir) {
+    case 0:
+      a(0, kVelU) = -1.0;  // eps_xx_dot = du/dx
+      a(3, kVelV) = -0.5;  // eps_xy_dot = (du/dy + dv/dx)/2
+      a(5, kVelW) = -0.5;  // eps_xz_dot
+      break;
+    case 1:
+      a(1, kVelV) = -1.0;
+      a(3, kVelU) = -0.5;
+      a(4, kVelW) = -0.5;
+      break;
+    default:
+      a(2, kVelW) = -1.0;
+      a(4, kVelV) = -0.5;
+      a(5, kVelU) = -0.5;
+      break;
+  }
+  return a;
+}
+
+linalg::Matrix elasticJacobianNormal(const Material& mat, const std::array<double, 3>& n) {
+  linalg::Matrix out(kElasticVars, kElasticVars);
+  for (int_t d = 0; d < 3; ++d) {
+    if (n[d] == 0.0) continue;
+    out = out + elasticJacobian(mat, d).scaled(n[d]);
+  }
+  return out;
+}
+
+linalg::Matrix anelasticJacobianNormal(const std::array<double, 3>& n) {
+  linalg::Matrix out(kAnelasticVarsPerMech, kElasticVars);
+  for (int_t d = 0; d < 3; ++d) {
+    if (n[d] == 0.0) continue;
+    out = out + anelasticJacobian(d).scaled(n[d]);
+  }
+  return out;
+}
+
+linalg::Matrix couplingE(const Material& mat, int_t mech) {
+  assert(mech >= 0 && mech < mat.mechanisms());
+  linalg::Matrix e(kElasticVars, kAnelasticVarsPerMech);
+  const double yl = mat.yLambda[mech];
+  const double ym = mat.yMu[mech];
+  // sigma_ii rows: -(yl + 2 ym) on the matching normal memory variable,
+  // -yl on the two others; shear rows: -2 ym (sigma_xy = 2 mu eps_xy).
+  for (int_t i = 0; i < 3; ++i)
+    for (int_t j = 0; j < 3; ++j) e(i, j) = (i == j) ? -(yl + 2.0 * ym) : -yl;
+  for (int_t s = 3; s < 6; ++s) e(s, s) = -2.0 * ym;
+  return e;
+}
+
+} // namespace nglts::physics

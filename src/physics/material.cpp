@@ -1,0 +1,13 @@
+#include "physics/material.hpp"
+
+namespace nglts::physics {
+
+Material elasticMaterial(double rho, double vp, double vs) {
+  Material m;
+  m.rho = rho;
+  m.mu = rho * vs * vs;
+  m.lambda = rho * vp * vp - 2.0 * m.mu;
+  return m;
+}
+
+} // namespace nglts::physics

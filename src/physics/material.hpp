@@ -1,0 +1,36 @@
+#pragma once
+// Isotropic (visco)elastic material description. Moduli stored are the
+// *unrelaxed* ones entering the Jacobians; the anelastic coefficients couple
+// the memory variables back into the stress rates (paper Sec. III, ref [24]).
+#include <cmath>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::physics {
+
+struct Material {
+  double rho = 0.0;    ///< density [kg/m^3]
+  double lambda = 0.0; ///< unrelaxed Lame lambda [Pa]
+  double mu = 0.0;     ///< unrelaxed Lame mu [Pa]
+
+  /// Relaxation frequencies omega_l [rad/s]; size = number of mechanisms m.
+  std::vector<double> omega;
+  /// Anelastic coupling coefficients, premultiplied with the moduli:
+  /// yLambda[l] = lambda * Y_lambda^l, yMu[l] = mu * Y_mu^l.
+  std::vector<double> yLambda;
+  std::vector<double> yMu;
+
+  int_t mechanisms() const { return static_cast<int_t>(omega.size()); }
+  bool viscoelastic() const { return !omega.empty(); }
+
+  double vp() const { return std::sqrt((lambda + 2.0 * mu) / rho); }
+  double vs() const { return std::sqrt(mu / rho); }
+  double zp() const { return rho * vp(); }
+  double zs() const { return rho * vs(); }
+};
+
+/// Purely elastic material from velocities.
+Material elasticMaterial(double rho, double vp, double vs);
+
+} // namespace nglts::physics

@@ -1,0 +1,58 @@
+#pragma once
+// The production preprocessing pipeline of paper Sec. VI / Fig. 8:
+//   velocity model -> velocity-aware target edge lengths -> graded+jittered
+//   mesh -> per-element materials -> CFL steps -> clustering + lambda sweep
+//   -> dual-graph weights -> partitioning -> (partition, cluster, comm-role)
+//   reordering -> per-partition manifest.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lts/clustering.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/reorder.hpp"
+#include "physics/material.hpp"
+#include "seismo/velocity_model.hpp"
+
+namespace nglts::pre {
+
+struct PipelineConfig {
+  /// Domain extents (z up; the free surface is the top boundary).
+  std::array<double, 3> lo = {0.0, 0.0, 0.0};
+  std::array<double, 3> hi = {1000.0, 1000.0, 1000.0};
+  /// Target elements per shortest wavelength and max resolved frequency.
+  double elementsPerWavelength = 2.0;
+  double maxFrequency = 1.0;
+  /// Hard bounds on the edge length [m].
+  double minEdge = 10.0;
+  double maxEdge = 1e9;
+  double jitter = 0.15;
+  int_t order = 4;
+  int_t mechanisms = 3;
+  double cfl = 0.5;
+  int_t numClusters = 3;
+  bool autoLambda = true;
+  double lambda = 1.0;
+  int_t numPartitions = 1;
+  bool freeSurfaceTop = true;
+};
+
+struct PipelineResult {
+  mesh::TetMesh mesh;                      ///< reordered mesh
+  std::vector<physics::Material> materials;
+  std::vector<double> dtCfl;
+  lts::Clustering clustering;
+  lts::LambdaSweep lambdaSweep;            ///< empty if autoLambda = false
+  partition::PartitionResult parts;
+  partition::Reordering reordering;
+  /// Per-partition manifest: element ranges in the reordered mesh.
+  std::vector<std::pair<idx_t, idx_t>> partitionRanges;
+
+  std::string summary() const;
+};
+
+/// Run the full pipeline against a velocity model.
+PipelineResult runPipeline(const seismo::VelocityModel& model, const PipelineConfig& config);
+
+} // namespace nglts::pre

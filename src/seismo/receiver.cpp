@@ -1,0 +1,32 @@
+#include "seismo/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nglts::seismo {
+
+std::vector<double> resample(const Seismogram& s, int_t quantity, double tEnd, idx_t samples) {
+  if (s.size() < 2) throw std::runtime_error("resample: seismogram too short");
+  std::vector<double> out(samples, 0.0);
+  for (idx_t i = 0; i < samples; ++i) {
+    const double t = tEnd * static_cast<double>(i) / (samples - 1);
+    // Find the bracketing samples.
+    const auto it = std::lower_bound(s.times.begin(), s.times.end(), t);
+    if (it == s.times.begin()) {
+      out[i] = s.values.front()[quantity];
+      continue;
+    }
+    if (it == s.times.end()) {
+      out[i] = s.values.back()[quantity];
+      continue;
+    }
+    const std::size_t hi = static_cast<std::size_t>(it - s.times.begin());
+    const std::size_t lo = hi - 1;
+    const double t0 = s.times[lo], t1 = s.times[hi];
+    const double w = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
+    out[i] = (1.0 - w) * s.values[lo][quantity] + w * s.values[hi][quantity];
+  }
+  return out;
+}
+
+} // namespace nglts::seismo

@@ -1,0 +1,79 @@
+#include "seismo/source.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace nglts::seismo {
+
+RickerWavelet::RickerWavelet(double centralFrequency, double delay, double amplitude)
+    : a_(std::numbers::pi * std::numbers::pi * centralFrequency * centralFrequency),
+      t0_(delay),
+      amp_(amplitude) {}
+
+double RickerWavelet::value(double t) const {
+  const double tau = t - t0_;
+  const double at2 = a_ * tau * tau;
+  return amp_ * (1.0 - 2.0 * at2) * std::exp(-at2);
+}
+
+double RickerWavelet::antiderivative(double t) const {
+  const double tau = t - t0_;
+  return amp_ * tau * std::exp(-a_ * tau * tau);
+}
+
+double RickerWavelet::integral(double t0, double t1) const {
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+GaussianPulse::GaussianPulse(double sigma, double delay, double amplitude)
+    : sigma_(sigma), t0_(delay), amp_(amplitude) {}
+
+double GaussianPulse::value(double t) const {
+  const double z = (t - t0_) / sigma_;
+  return amp_ * std::exp(-0.5 * z * z);
+}
+
+double GaussianPulse::integral(double t0, double t1) const {
+  const double c = amp_ * sigma_ * std::sqrt(std::numbers::pi / 2.0);
+  auto anti = [&](double t) { return c * std::erf((t - t0_) / (sigma_ * std::sqrt(2.0))); };
+  return anti(t1) - anti(t0);
+}
+
+BrunePulse::BrunePulse(double riseTime, double amplitude) : T_(riseTime), amp_(amplitude) {}
+
+double BrunePulse::value(double t) const {
+  if (t <= 0.0) return 0.0;
+  return amp_ * t / (T_ * T_) * std::exp(-t / T_);
+}
+
+double BrunePulse::antiderivative(double t) const {
+  if (t <= 0.0) return 0.0;
+  return amp_ * (1.0 - std::exp(-t / T_) * (1.0 + t / T_));
+}
+
+double BrunePulse::integral(double t0, double t1) const {
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+PointSource momentTensorSource(const std::array<double, 3>& position,
+                               const std::array<double, 6>& moment,
+                               std::shared_ptr<SourceTimeFunction> stf) {
+  PointSource s;
+  s.position = position;
+  s.weights.assign(kElasticVars, 0.0);
+  for (int_t i = 0; i < 6; ++i) s.weights[i] = moment[i];
+  s.stf = std::move(stf);
+  return s;
+}
+
+PointSource forceSource(const std::array<double, 3>& position, const std::array<double, 3>& f,
+                        std::shared_ptr<SourceTimeFunction> stf) {
+  PointSource s;
+  s.position = position;
+  s.weights.assign(kElasticVars, 0.0);
+  for (int_t i = 0; i < 3; ++i) s.weights[kVelU + i] = f[i];
+  s.stf = std::move(stf);
+  return s;
+}
+
+} // namespace nglts::seismo

@@ -1,0 +1,77 @@
+#pragma once
+// Kinematic point sources: source time functions with *analytic* time
+// integrals (the ADER update needs exact integrals over element-local LTS
+// intervals) and moment-tensor / single-force source descriptions.
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nglts::seismo {
+
+class SourceTimeFunction {
+ public:
+  virtual ~SourceTimeFunction() = default;
+  virtual double value(double t) const = 0;
+  /// Exact integral of value over [t0, t1].
+  virtual double integral(double t0, double t1) const = 0;
+};
+
+/// Ricker wavelet (1 - 2 a tau^2) exp(-a tau^2), a = pi^2 fc^2, tau = t - t0.
+/// Integral: tau exp(-a tau^2).
+class RickerWavelet final : public SourceTimeFunction {
+ public:
+  RickerWavelet(double centralFrequency, double delay, double amplitude = 1.0);
+  double value(double t) const override;
+  double integral(double t0, double t1) const override;
+
+ private:
+  double a_, t0_, amp_;
+  double antiderivative(double t) const;
+};
+
+/// Gaussian pulse exp(-(t - t0)^2 / (2 sigma^2)); integral via erf.
+class GaussianPulse final : public SourceTimeFunction {
+ public:
+  GaussianPulse(double sigma, double delay, double amplitude = 1.0);
+  double value(double t) const override;
+  double integral(double t0, double t1) const override;
+
+ private:
+  double sigma_, t0_, amp_;
+};
+
+/// Brune-type moment rate (t/T^2) exp(-t/T) for t >= 0 (the LOH benchmark
+/// family's source). Integral: 1 - exp(-t/T)(1 + t/T).
+class BrunePulse final : public SourceTimeFunction {
+ public:
+  BrunePulse(double riseTime, double amplitude = 1.0);
+  double value(double t) const override;
+  double integral(double t0, double t1) const override;
+
+ private:
+  double T_, amp_;
+  double antiderivative(double t) const;
+};
+
+/// A point source injecting `weights[v] * stf(t) * delta(x - position)` into
+/// the right-hand side of quantity v.
+struct PointSource {
+  std::array<double, 3> position;
+  std::vector<double> weights; ///< per elastic quantity (size 9)
+  std::shared_ptr<SourceTimeFunction> stf;
+};
+
+/// Moment-tensor source (entries in the stress rows, Voigt order
+/// xx, yy, zz, xy, yz, xz).
+PointSource momentTensorSource(const std::array<double, 3>& position,
+                               const std::array<double, 6>& moment,
+                               std::shared_ptr<SourceTimeFunction> stf);
+
+/// Single-force source acting on the velocity rows (divided by rho by the
+/// solver via the material at the containing element).
+PointSource forceSource(const std::array<double, 3>& position, const std::array<double, 3>& f,
+                        std::shared_ptr<SourceTimeFunction> stf);
+
+} // namespace nglts::seismo

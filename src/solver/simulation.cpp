@@ -1,0 +1,389 @@
+#include "solver/simulation.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "basis/quadrature.hpp"
+#include "common/log.hpp"
+
+namespace nglts::solver {
+
+template <typename Real, int W>
+Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials,
+                                SimConfig config)
+    : cfg_(config), mesh_(std::move(mesh)), materials_(std::move(materials)) {
+  if (mesh_.faces.empty()) throw std::runtime_error("Simulation: mesh connectivity not built");
+  if (static_cast<idx_t>(materials_.size()) != mesh_.numElements())
+    throw std::runtime_error("Simulation: one material per element required");
+
+  geo_ = mesh::computeGeometry(mesh_);
+  const std::vector<double> dtCfl = lts::cflTimeSteps(geo_, materials_, cfg_.order, cfg_.cfl);
+
+  int_t nc = cfg_.scheme == TimeScheme::kGts ? 1 : cfg_.numClusters;
+  double lambda = cfg_.scheme == TimeScheme::kGts ? 1.0 : cfg_.lambda;
+  if (cfg_.scheme != TimeScheme::kGts && cfg_.autoLambda) {
+    const lts::LambdaSweep sweep = lts::optimizeLambda(mesh_, dtCfl, nc);
+    lambda = sweep.bestLambda;
+    NGLTS_LOG_INFO << "lambda sweep: best lambda " << lambda << " speedup " << sweep.bestSpeedup;
+  }
+  clustering_ = lts::buildClustering(mesh_, dtCfl, nc, lambda);
+  schedule_ = lts::buildSchedule(nc);
+  lts::checkSchedule(schedule_, nc);
+
+  clusterElems_.assign(nc, {});
+  for (idx_t e = 0; e < mesh_.numElements(); ++e)
+    clusterElems_[clustering_.cluster[e]].push_back(e);
+  clusterStep_.assign(nc, 0);
+
+  // Relaxation frequencies: shared across the mesh (fitConstantQ places them
+  // by (mechanisms, band) only); take them from the first viscoelastic
+  // material.
+  std::vector<double> omega;
+  if (cfg_.mechanisms > 0) {
+    for (const auto& m : materials_)
+      if (m.mechanisms() >= cfg_.mechanisms) {
+        omega.assign(m.omega.begin(), m.omega.begin() + cfg_.mechanisms);
+        break;
+      }
+    if (omega.empty())
+      throw std::runtime_error("Simulation: anelastic run without viscoelastic materials");
+  }
+  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
+                                                             cfg_.sparseKernels, omega);
+  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo_, materials_, cfg_.mechanisms);
+
+  const idx_t k = mesh_.numElements();
+  q_.assign(k * elSize(), Real(0));
+  b1_.assign(k * bufSize(), Real(0));
+  useB2_ = cfg_.scheme == TimeScheme::kLtsNextGen && nc > 1;
+  useB3_ = nc > 1; // both LTS schemes accumulate a window buffer
+  if (useB2_) b2_.assign(k * bufSize(), Real(0));
+  if (useB3_) b3_.assign(k * bufSize(), Real(0));
+  if (cfg_.scheme == TimeScheme::kLtsBaseline) derivStack_.assign(k * stackSize(), Real(0));
+
+  elementSources_.assign(k, {});
+  elementReceivers_.assign(k, {});
+
+  recDt_ = cfg_.receiverSampleDt > 0.0 ? cfg_.receiverSampleDt : clustering_.dtMin;
+
+  const int_t nThreads = omp_get_max_threads();
+  scratch_.reserve(nThreads);
+  for (int_t t = 0; t < nThreads; ++t) {
+    scratch_.push_back(kernels_->makeScratch());
+    recStack_.emplace_back(stackSize(), Real(0));
+  }
+  threadFlops_.assign(nThreads, 0);
+}
+
+template <typename Real, int W>
+void Simulation<Real, W>::setInitialCondition(const InitFn& f) {
+  const auto quad = basis::tetQuadrature(cfg_.order + 2);
+  const auto& tet = *kernels_->globalMatrices().tet;
+  const int_t nb = kernels_->numBasis();
+#pragma omp parallel for schedule(static)
+  for (idx_t el = 0; el < mesh_.numElements(); ++el) {
+    Real* q = dofs(el);
+    linalg::zeroBlock(q, elSize());
+    const auto& v0 = mesh_.vertices[mesh_.elements[el][0]];
+    for (const auto& qp : quad) {
+      std::array<double, 3> x = v0;
+      for (int_t r = 0; r < 3; ++r)
+        for (int_t c = 0; c < 3; ++c) x[r] += geo_[el].jac[r][c] * qp.xi[c];
+      const auto phi = tet.evalAll(qp.xi);
+      for (int_t lane = 0; lane < W; ++lane) {
+        double q9[kElasticVars];
+        f(x, lane, q9);
+        for (int_t v = 0; v < kElasticVars; ++v) {
+          const double wv = qp.weight * q9[v];
+          for (int_t b = 0; b < nb; ++b)
+            q[(static_cast<std::size_t>(v) * nb + b) * W + lane] +=
+                static_cast<Real>(wv * phi[b]);
+        }
+      }
+    }
+  }
+}
+
+template <typename Real, int W>
+void Simulation<Real, W>::addPointSource(const seismo::PointSource& src,
+                                         std::vector<double> laneScale) {
+  if (laneScale.empty()) laneScale.assign(W, 1.0);
+  if (static_cast<int_t>(laneScale.size()) != W)
+    throw std::runtime_error("addPointSource: laneScale must have W entries");
+  const idx_t el = mesh::locatePoint(mesh_, geo_, src.position);
+  if (el < 0) throw std::runtime_error("addPointSource: source outside the mesh");
+  const auto xi = mesh::physicalToReference(mesh_, geo_[el], el, src.position);
+  const auto phi = kernels_->globalMatrices().tet->evalAll(xi);
+  const int_t nb = kernels_->numBasis();
+
+  BoundSource bs;
+  bs.element = el;
+  bs.stf = src.stf;
+  bs.coeffs.assign(elSize(), Real(0));
+  for (int_t v = 0; v < kElasticVars; ++v) {
+    double wv = src.weights[v];
+    if (v >= kVelU) wv /= materials_[el].rho; // force -> acceleration
+    wv /= geo_[el].detJac;                    // M^{-1} delta projection
+    // M_nm = detJac * delta_nm (basis orthonormal on the reference tet), so
+    // the delta projection is phi_n(xi_s) / detJac.
+    for (int_t b = 0; b < nb; ++b)
+      for (int_t lane = 0; lane < W; ++lane)
+        bs.coeffs[(static_cast<std::size_t>(v) * nb + b) * W + lane] =
+            static_cast<Real>(wv * phi[b] * laneScale[lane]);
+  }
+  elementSources_[el].push_back(static_cast<idx_t>(sources_.size()));
+  sources_.push_back(std::move(bs));
+}
+
+template <typename Real, int W>
+idx_t Simulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
+  const idx_t el = mesh::locatePoint(mesh_, geo_, position);
+  if (el < 0) return -1;
+  seismo::Receiver r;
+  r.position = position;
+  r.element = el;
+  r.basisValues =
+      kernels_->globalMatrices().tet->evalAll(mesh::physicalToReference(mesh_, geo_[el], el, position));
+  r.traces.resize(W);
+  elementReceivers_[el].push_back(static_cast<idx_t>(receivers_.size()));
+  receivers_.push_back(std::move(r));
+  return static_cast<idx_t>(receivers_.size()) - 1;
+}
+
+template <typename Real, int W>
+const Real* Simulation<Real, W>::neighborData(
+    idx_t el, int_t face, idx_t myStep, typename kernels::AderKernels<Real, W>::Scratch& s,
+    std::uint64_t& flops) const {
+  const mesh::FaceInfo& fi = mesh_.faces[el][face];
+  const int_t cMe = clustering_.cluster[el];
+  const int_t cNb = clustering_.cluster[fi.neighbor];
+  const Real* b1 = &b1_[fi.neighbor * bufSize()];
+
+  if (cfg_.scheme == TimeScheme::kLtsBaseline) {
+    if (cNb < cMe) return &b3_[fi.neighbor * bufSize()];
+    // Equal or larger: integrate the neighbor's derivative stack over this
+    // element's interval (the receiver-side evaluations of [15]).
+    const double dtMe = clustering_.clusterDt[cMe];
+    const double a = (cNb > cMe && (myStep % 2)) ? dtMe : 0.0;
+    flops += kernels_->integrateDerivStack(&derivStack_[fi.neighbor * stackSize()],
+                                           static_cast<Real>(a), static_cast<Real>(dtMe),
+                                           s.bufCombo.data());
+    return s.bufCombo.data();
+  }
+
+  // Next-generation scheme.
+  if (cNb == cMe) return b1;
+  if (cNb < cMe) return &b3_[fi.neighbor * bufSize()];
+  // Larger neighbor: first half-window uses B2, second B1 - B2 (Fig. 6).
+  const Real* b2 = &b2_[fi.neighbor * bufSize()];
+  if (myStep % 2 == 0) return b2;
+  Real* combo = s.bufCombo.data();
+  const std::size_t n = bufSize();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) combo[i] = b1[i] - b2[i];
+  flops += n;
+  return combo;
+}
+
+template <typename Real, int W>
+void Simulation<Real, W>::localPhase(int_t cluster) {
+  const auto& elems = clusterElems_[cluster];
+  const double dt = clustering_.clusterDt[cluster];
+  const idx_t step = clusterStep_[cluster];
+  const bool odd = (step % 2) != 0;
+  const bool baseline = cfg_.scheme == TimeScheme::kLtsBaseline;
+  const double t0 = step * dt;
+
+#pragma omp parallel for schedule(guided)
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const idx_t el = elems[i];
+    const int_t tid = omp_get_thread_num();
+    auto& s = scratch_[tid];
+    std::uint64_t flops = 0;
+    Real* q = &q_[el * elSize()];
+    Real* b1 = &b1_[el * bufSize()];
+    Real* b2 = useB2_ ? &b2_[el * bufSize()] : nullptr;
+    Real* b3 = useB3_ ? &b3_[el * bufSize()] : nullptr;
+    const bool wantStack = baseline || !elementReceivers_[el].empty();
+    Real* stack = baseline ? &derivStack_[el * stackSize()]
+                           : (wantStack ? recStack_[tid].data() : nullptr);
+
+    flops += kernels_->timePredict(elementData_[el], q, static_cast<Real>(dt), s.timeInt.data(),
+                                   b1, b2, b3, odd, s, stack);
+    flops += kernels_->volumeAndLocalSurface(elementData_[el], s.timeInt.data(), q, s);
+
+    for (idx_t si : elementSources_[el]) {
+      const BoundSource& bs = sources_[si];
+      const Real integral = static_cast<Real>(bs.stf->integral(t0, t0 + dt));
+      linalg::axpyBlock(integral, bs.coeffs.data(), q, elSize());
+      flops += 2ull * elSize();
+    }
+    if (!elementReceivers_[el].empty()) sampleReceivers(el, stack, t0, dt);
+    threadFlops_[tid] += flops;
+  }
+}
+
+template <typename Real, int W>
+void Simulation<Real, W>::sampleReceivers(idx_t el, const Real* stack, double t0, double dt) {
+  // Evaluate the ADER predictor's Taylor expansion on the uniform receiver
+  // time grid inside [t0, t0 + dt] — each LTS element records at full
+  // resolution regardless of its cluster's step.
+  const int_t nb = kernels_->numBasis();
+  const int_t order = cfg_.order;
+  const std::size_t vs = static_cast<std::size_t>(nb) * W;
+  for (idx_t ri : elementReceivers_[el]) {
+    auto& rec = receivers_[ri];
+    // Project the derivative stack onto the receiver point:
+    // poly[d][v][lane] (time polynomial coefficients).
+    std::vector<double> poly(static_cast<std::size_t>(order) * kElasticVars * W, 0.0);
+    for (int_t d = 0; d < order; ++d)
+      for (int_t v = 0; v < kElasticVars; ++v) {
+        const Real* src = stack + static_cast<std::size_t>(d) * bufSize() + v * vs;
+        for (int_t b = 0; b < nb; ++b) {
+          const double phi = rec.basisValues[b];
+          for (int_t lane = 0; lane < W; ++lane)
+            poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane] +=
+                phi * static_cast<double>(src[static_cast<std::size_t>(b) * W + lane]);
+        }
+      }
+    const idx_t jFirst = static_cast<idx_t>(std::floor(t0 / recDt_ + 1e-9)) + 1;
+    for (idx_t j = jFirst; j * recDt_ <= t0 + dt + 1e-12 * dt; ++j) {
+      const double tau = j * recDt_ - t0;
+      for (int_t lane = 0; lane < W; ++lane) {
+        std::array<double, kElasticVars> vals{};
+        double coef = 1.0;
+        for (int_t d = 0; d < order; ++d) {
+          for (int_t v = 0; v < kElasticVars; ++v)
+            vals[v] += coef * poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane];
+          coef *= tau / (d + 1);
+        }
+        rec.traces[lane].times.push_back(j * recDt_);
+        rec.traces[lane].values.push_back(vals);
+      }
+    }
+  }
+}
+
+template <typename Real, int W>
+void Simulation<Real, W>::neighborPhase(int_t cluster) {
+  const auto& elems = clusterElems_[cluster];
+  const idx_t step = clusterStep_[cluster];
+
+#pragma omp parallel for schedule(guided)
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const idx_t el = elems[i];
+    const int_t tid = omp_get_thread_num();
+    auto& s = scratch_[tid];
+    std::uint64_t flops = 0;
+    Real* q = &q_[el * elSize()];
+    for (int_t f = 0; f < 4; ++f) {
+      const mesh::FaceInfo& fi = mesh_.faces[el][f];
+      if (fi.neighbor < 0) continue;
+      const Real* data = neighborData(el, f, step, s, flops);
+      flops += kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm,
+                                              data, q, s);
+    }
+    threadFlops_[tid] += flops;
+  }
+  ++clusterStep_[cluster];
+}
+
+template <typename Real, int W>
+PerfStats Simulation<Real, W>::run(double endTime) {
+  PerfStats stats;
+  const double dtCycle = cycleDt();
+  const std::uint64_t cycles =
+      static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
+  std::fill(threadFlops_.begin(), threadFlops_.end(), 0);
+
+  std::uint64_t updatesPerCycle = 0;
+  for (int_t l = 0; l < clustering_.numClusters; ++l)
+    updatesPerCycle += clusterElems_[l].size() * lts::stepsPerCycle(clustering_.numClusters, l);
+
+  Timer timer;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (const lts::ScheduleOp& op : schedule_) {
+      if (op.kind == lts::PhaseKind::kLocal)
+        localPhase(op.cluster);
+      else
+        neighborPhase(op.cluster);
+    }
+  }
+  stats.seconds = timer.seconds();
+  stats.cycles = cycles;
+  stats.simulatedTime = cycles * dtCycle;
+  stats.elementUpdates = cycles * updatesPerCycle;
+  for (std::uint64_t f : threadFlops_) stats.flops += f;
+  return stats;
+}
+
+template <typename Real, int W>
+std::array<double, kElasticVars> Simulation<Real, W>::sample(idx_t element,
+                                                             const std::array<double, 3>& xi,
+                                                             int_t lane) const {
+  const auto phi = kernels_->globalMatrices().tet->evalAll(xi);
+  const int_t nb = kernels_->numBasis();
+  const Real* q = dofs(element);
+  std::array<double, kElasticVars> out{};
+  for (int_t v = 0; v < kElasticVars; ++v)
+    for (int_t b = 0; b < nb; ++b)
+      out[v] += static_cast<double>(q[(static_cast<std::size_t>(v) * nb + b) * W + lane]) * phi[b];
+  return out;
+}
+
+template <typename Real, int W>
+std::uint64_t Simulation<Real, W>::cycleCommBytes(const std::vector<int_t>& partition,
+                                                  bool faceLocal) const {
+  // Analytic per-cycle byte volume if the mesh were cut along `partition`:
+  // for every face crossing a cut, count the datasets the owning side sends
+  // (Sec. V-C; see DESIGN.md experiment "comm_volume").
+  const int_t nc = clustering_.numClusters;
+  const std::size_t realBytes = sizeof(Real);
+  const std::size_t fullBuf = bufSize() * realBytes;
+  const std::size_t faceBuf = kernels_->faceDataSize() * realBytes;
+  // Baseline derivative payload: truncated blocks for elastic runs, full
+  // otherwise (the paper's 1,575-value argument).
+  std::size_t derivPayload = 0;
+  for (int_t d = 0; d < cfg_.order; ++d) {
+    const int_t wid = cfg_.mechanisms > 0 ? kernels_->numBasis()
+                                          : numBasis3d(cfg_.order - d);
+    derivPayload += static_cast<std::size_t>(kElasticVars) * wid * W * realBytes;
+  }
+
+  std::uint64_t bytes = 0;
+  for (idx_t el = 0; el < mesh_.numElements(); ++el)
+    for (int_t f = 0; f < 4; ++f) {
+      const mesh::FaceInfo& fi = mesh_.faces[el][f];
+      if (fi.neighbor < 0 || partition[el] == partition[fi.neighbor]) continue;
+      const int_t cMe = clustering_.cluster[el];
+      const int_t cNb = clustering_.cluster[fi.neighbor];
+      const idx_t mySteps = lts::stepsPerCycle(nc, cMe);
+      if (cfg_.scheme == TimeScheme::kLtsBaseline) {
+        if (cNb < cMe)
+          bytes += mySteps * derivPayload; // derivatives once per own step
+        else if (cNb == cMe)
+          bytes += mySteps * derivPayload;
+        else
+          bytes += mySteps / 2 * fullBuf; // accumulated buffer to larger
+      } else {
+        const std::size_t payload = faceLocal ? faceBuf : fullBuf;
+        if (cNb == cMe)
+          bytes += mySteps * payload; // B1 per step
+        else if (cNb < cMe)
+          bytes += 2 * mySteps * payload; // B2 and B1-B2 per step
+        else
+          bytes += mySteps / 2 * payload; // B3 once per two steps
+      }
+    }
+  return bytes;
+}
+
+template class Simulation<float, 1>;
+template class Simulation<float, 8>;
+template class Simulation<float, 16>;
+template class Simulation<double, 1>;
+template class Simulation<double, 2>;
+
+} // namespace nglts::solver

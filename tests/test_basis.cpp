@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/quadrature.hpp"
+#include "basis/tet_basis.hpp"
+#include "basis/tri_basis.hpp"
+#include "common/types.hpp"
+
+namespace nb = nglts::basis;
+using nglts::int_t;
+
+class TriBasisP : public ::testing::TestWithParam<int_t> {};
+
+TEST_P(TriBasisP, SizeMatchesFormula) {
+  const int_t order = GetParam();
+  nb::TriBasis tri(order);
+  EXPECT_EQ(tri.size(), nglts::numBasis2d(order));
+}
+
+TEST_P(TriBasisP, Orthonormal) {
+  const int_t order = GetParam();
+  nb::TriBasis tri(order);
+  const auto quad = nb::triangleQuadrature(order + 2);
+  for (int_t a = 0; a < tri.size(); ++a)
+    for (int_t b = a; b < tri.size(); ++b) {
+      double s = 0.0;
+      for (const auto& qp : quad) s += qp.weight * tri.eval(a, qp.xi) * tri.eval(b, qp.xi);
+      EXPECT_NEAR(s, a == b ? 1.0 : 0.0, 1e-11) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST_P(TriBasisP, FiniteOnClosedTriangle) {
+  const int_t order = GetParam();
+  nb::TriBasis tri(order);
+  const std::array<std::array<double, 2>, 6> pts = {
+      {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}, {0.0, 0.5}, {0.5, 0.0}}};
+  for (int_t b = 0; b < tri.size(); ++b)
+    for (const auto& p : pts) EXPECT_TRUE(std::isfinite(tri.eval(b, p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, TriBasisP, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class TetBasisP : public ::testing::TestWithParam<int_t> {};
+
+TEST_P(TetBasisP, SizeMatchesFormula) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  EXPECT_EQ(tet.size(), nglts::numBasis3d(order));
+}
+
+TEST_P(TetBasisP, Orthonormal) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  const auto quad = nb::tetQuadrature(order + 2);
+  for (int_t a = 0; a < tet.size(); ++a)
+    for (int_t b = a; b < tet.size(); ++b) {
+      double s = 0.0;
+      for (const auto& qp : quad) s += qp.weight * tet.eval(a, qp.xi) * tet.eval(b, qp.xi);
+      EXPECT_NEAR(s, a == b ? 1.0 : 0.0, 1e-11) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST_P(TetBasisP, DegreeOrderingAndPrefixCounts) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  int_t lastDeg = 0;
+  for (int_t b = 0; b < tet.size(); ++b) {
+    EXPECT_GE(tet.degree(b), lastDeg); // sorted by total degree
+    lastDeg = tet.degree(b);
+  }
+  for (int_t d = 0; d <= order; ++d) {
+    const int_t prefix = tet.sizeOfOrder(d);
+    for (int_t b = 0; b < tet.size(); ++b) {
+      if (b < prefix)
+        EXPECT_LT(tet.degree(b), d);
+      else
+        EXPECT_GE(tet.degree(b), d);
+    }
+  }
+}
+
+TEST_P(TetBasisP, GradientFiniteDifference) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  const double h = 1e-6;
+  const std::array<double, 3> xi = {0.21, 0.17, 0.33};
+  for (int_t b = 0; b < tet.size(); ++b) {
+    const auto g = tet.evalGrad(b, xi);
+    for (int_t d = 0; d < 3; ++d) {
+      auto lo = xi, hi = xi;
+      lo[d] -= h;
+      hi[d] += h;
+      const double fd = (tet.eval(b, hi) - tet.eval(b, lo)) / (2 * h);
+      EXPECT_NEAR(g[d], fd, 1e-5 * std::max(1.0, std::fabs(fd))) << "b=" << b << " d=" << d;
+    }
+  }
+}
+
+TEST_P(TetBasisP, FiniteOnClosedTet) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  const std::array<std::array<double, 3>, 8> pts = {{{0, 0, 0},
+                                                     {1, 0, 0},
+                                                     {0, 1, 0},
+                                                     {0, 0, 1},
+                                                     {0.5, 0.5, 0},
+                                                     {0, 0.5, 0.5},
+                                                     {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                                                     {0.25, 0.25, 0.5}}};
+  for (int_t b = 0; b < tet.size(); ++b)
+    for (const auto& p : pts) {
+      EXPECT_TRUE(std::isfinite(tet.eval(b, p)));
+      const auto g = tet.evalGrad(b, p);
+      for (double v : g) EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST_P(TetBasisP, FirstFunctionIsConstant) {
+  const int_t order = GetParam();
+  nb::TetBasis tet(order);
+  // Orthonormal constant over volume 1/6 => phi_0 = sqrt(6).
+  EXPECT_NEAR(tet.eval(0, {0.2, 0.3, 0.1}), std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(tet.eval(0, {0.7, 0.1, 0.1}), std::sqrt(6.0), 1e-12);
+}
+
+TEST_P(TetBasisP, SpansPolynomials) {
+  // Project x*y (degree 2, present for order >= 3) onto the basis and verify
+  // pointwise reconstruction.
+  const int_t order = GetParam();
+  if (order < 3) return;
+  nb::TetBasis tet(order);
+  const auto quad = nb::tetQuadrature(order + 2);
+  std::vector<double> coeff(tet.size(), 0.0);
+  for (const auto& qp : quad) {
+    const double f = qp.xi[0] * qp.xi[1];
+    for (int_t b = 0; b < tet.size(); ++b) coeff[b] += qp.weight * f * tet.eval(b, qp.xi);
+  }
+  const std::array<double, 3> p = {0.3, 0.25, 0.2};
+  double rec = 0.0;
+  for (int_t b = 0; b < tet.size(); ++b) rec += coeff[b] * tet.eval(b, p);
+  EXPECT_NEAR(rec, p[0] * p[1], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, TetBasisP, ::testing::Values(1, 2, 3, 4, 5, 6));

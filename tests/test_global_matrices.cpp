@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "basis/global_matrices.hpp"
+#include "basis/quadrature.hpp"
+#include "common/types.hpp"
+
+namespace nb = nglts::basis;
+using nglts::int_t;
+
+class GlobalMatricesP : public ::testing::TestWithParam<int_t> {
+ protected:
+  void SetUp() override { gm = nb::buildGlobalMatrices(GetParam()); }
+  std::shared_ptr<const nb::GlobalMatrices> gm;
+};
+
+TEST_P(GlobalMatricesP, MassIsIdentity) {
+  for (int_t b = 0; b < gm->nBasis; ++b) EXPECT_NEAR(gm->massDiag[b], 1.0, 1e-11);
+}
+
+TEST_P(GlobalMatricesP, DerivativeOperatorExact) {
+  // For random modal coefficients q, (q * G_c) must be the modal coefficients
+  // of the xi_c-derivative: check pointwise at interior points.
+  const int_t nB = gm->nBasis;
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> q(nB);
+  for (auto& v : q) v = uni(rng);
+
+  for (int_t c = 0; c < 3; ++c) {
+    std::vector<double> dq(nB, 0.0);
+    for (int_t n = 0; n < nB; ++n)
+      for (int_t m = 0; m < nB; ++m) dq[n] += q[m] * gm->gXi[c](m, n);
+    for (const std::array<double, 3> xi :
+         {std::array<double, 3>{0.2, 0.3, 0.1}, {0.1, 0.1, 0.6}, {0.4, 0.2, 0.2}}) {
+      double exact = 0.0, viaOp = 0.0;
+      for (int_t b = 0; b < nB; ++b) {
+        exact += q[b] * gm->tet->evalGrad(b, xi)[c];
+        viaOp += dq[b] * gm->tet->eval(b, xi);
+      }
+      EXPECT_NEAR(viaOp, exact, 1e-9 * std::max(1.0, std::fabs(exact)));
+    }
+  }
+}
+
+TEST_P(GlobalMatricesP, DerivativeReducesDegreeBlocks) {
+  // G_c maps degree-(d) modes into degree-(<d) modes: columns of G_c with
+  // basis degree >= row degree must vanish.
+  for (int_t c = 0; c < 3; ++c)
+    for (int_t m = 0; m < gm->nBasis; ++m)
+      for (int_t n = 0; n < gm->nBasis; ++n)
+        if (gm->tet->degree(n) >= gm->tet->degree(m) && std::fabs(gm->gXi[c](m, n)) > 1e-9)
+          FAIL() << "G_" << c << "(" << m << "," << n << ") nonzero across degree blocks";
+}
+
+TEST_P(GlobalMatricesP, StiffnessDerivativeDuality) {
+  // kXi(k,n) * mass(n) = raw(k,n) and gXi(m,n) * mass(n) = raw(n,m):
+  // kXi(k,n) == gXi(n,k) here since mass == identity.
+  for (int_t c = 0; c < 3; ++c)
+    for (int_t k = 0; k < gm->nBasis; ++k)
+      for (int_t n = 0; n < gm->nBasis; ++n)
+        EXPECT_NEAR(gm->kXi[c](k, n), gm->gXi[c](n, k), 1e-10);
+}
+
+TEST_P(GlobalMatricesP, TraceProjectionExact) {
+  // The F(O) face functions represent traces exactly: for random modal q,
+  // the projected face expansion reproduces the trace at face points.
+  const int_t nB = gm->nBasis, nF = gm->nFaceBasis;
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> q(nB);
+  for (auto& v : q) v = uni(rng);
+
+  for (int_t face = 0; face < 4; ++face) {
+    std::vector<double> proj(nF, 0.0);
+    for (int_t f = 0; f < nF; ++f)
+      for (int_t b = 0; b < nB; ++b) proj[f] += q[b] * gm->fluxLocal[face](b, f);
+    for (const std::array<double, 2> st : {std::array<double, 2>{0.2, 0.3}, {0.6, 0.1}, {0.1, 0.7}}) {
+      const auto xi = nb::faceParam(face, st[0], st[1]);
+      double trace = 0.0, viaFace = 0.0;
+      for (int_t b = 0; b < nB; ++b) trace += q[b] * gm->tet->eval(b, xi);
+      for (int_t f = 0; f < nF; ++f) viaFace += proj[f] * gm->tri->eval(f, st);
+      EXPECT_NEAR(viaFace, trace, 1e-10 * std::max(1.0, std::fabs(trace)));
+    }
+  }
+}
+
+TEST_P(GlobalMatricesP, LiftIsMassScaledTranspose) {
+  for (int_t face = 0; face < 4; ++face)
+    for (int_t f = 0; f < gm->nFaceBasis; ++f)
+      for (int_t b = 0; b < gm->nBasis; ++b)
+        EXPECT_NEAR(gm->fluxLift[face](f, b), gm->fluxLocal[face](b, f) / gm->massDiag[b], 1e-11);
+}
+
+TEST_P(GlobalMatricesP, NeighborProjectionIdentityPermutation) {
+  // With the identity permutation, F-bar_{j, id} equals fluxLocal[j]:
+  // the "neighbor" evaluates its own face in the same frame.
+  for (int_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(gm->fluxNeigh[j][0].distance(gm->fluxLocal[j]), 0.0, 1e-10);
+}
+
+TEST_P(GlobalMatricesP, FacePermutationLookup) {
+  const std::array<nglts::idx_t, 3> tri = {10, 20, 30};
+  for (int_t s = 0; s < 6; ++s) {
+    const auto& p = nb::kFacePermutations[s];
+    const std::array<nglts::idx_t, 3> to = {tri[p[0]], tri[p[1]], tri[p[2]]};
+    EXPECT_EQ(nb::findFacePermutation(tri, to), s);
+  }
+  EXPECT_EQ(nb::findFacePermutation(tri, {10, 20, 99}), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GlobalMatricesP, ::testing::Values(2, 3, 4, 5));

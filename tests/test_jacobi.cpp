@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/jacobi.hpp"
+#include "basis/quadrature.hpp"
+
+namespace nb = nglts::basis;
+using nglts::int_t;
+
+TEST(Jacobi, LegendreValues) {
+  // P_0 = 1, P_1 = x, P_2 = (3x^2 - 1)/2, P_3 = (5x^3 - 3x)/2.
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 1.0}) {
+    EXPECT_NEAR(nb::jacobi(0, 0, 0, x), 1.0, 1e-14);
+    EXPECT_NEAR(nb::jacobi(1, 0, 0, x), x, 1e-14);
+    EXPECT_NEAR(nb::jacobi(2, 0, 0, x), 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(nb::jacobi(3, 0, 0, x), 0.5 * (5 * x * x * x - 3 * x), 1e-13);
+  }
+}
+
+TEST(Jacobi, ValueAtOne) {
+  // P_n^{(a,b)}(1) = binom(n+a, n).
+  EXPECT_NEAR(nb::jacobi(2, 1, 0, 1.0), 3.0, 1e-13);   // C(3,2)
+  EXPECT_NEAR(nb::jacobi(3, 2, 0, 1.0), 10.0, 1e-13);  // C(5,3)
+  EXPECT_NEAR(nb::jacobi(4, 3, 0, 1.0), 35.0, 1e-12);  // C(7,4)
+}
+
+TEST(Jacobi, DerivativeFiniteDifference) {
+  const double h = 1e-6;
+  for (int_t n = 1; n <= 6; ++n)
+    for (double a : {0.0, 1.0, 3.0})
+      for (double x : {-0.5, 0.1, 0.7}) {
+        const double fd = (nb::jacobi(n, a, 0, x + h) - nb::jacobi(n, a, 0, x - h)) / (2 * h);
+        EXPECT_NEAR(nb::jacobiDerivative(n, a, 0, x), fd, 1e-6 * std::max(1.0, std::fabs(fd)));
+      }
+}
+
+TEST(ScaledJacobi, MatchesUnscaledForPositiveV) {
+  for (int_t n = 0; n <= 7; ++n)
+    for (double a : {0.0, 2.0, 5.0})
+      for (double v : {0.3, 1.0, 2.5})
+        for (double uOverV : {-0.8, 0.0, 0.9}) {
+          const double u = uOverV * v;
+          EXPECT_NEAR(nb::scaledJacobi(n, a, 0, u, v), std::pow(v, n) * nb::jacobi(n, a, 0, uOverV),
+                      1e-11 * std::pow(2.5, n));
+        }
+}
+
+TEST(ScaledJacobi, WellDefinedAtVZero) {
+  // S_n(u, 0) must be finite (homogeneous polynomial).
+  for (int_t n = 0; n <= 8; ++n) {
+    const double v = nb::scaledJacobi(n, 1.0, 0.0, 0.5, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ScaledJacobi, DerivativesFiniteDifference) {
+  const double h = 1e-6;
+  for (int_t n = 1; n <= 6; ++n)
+    for (double a : {0.0, 3.0}) {
+      const double u = 0.37, v = 0.81;
+      const auto d = nb::scaledJacobiDerivs(n, a, 0, u, v);
+      EXPECT_NEAR(d.value, nb::scaledJacobi(n, a, 0, u, v), 1e-13);
+      const double fdu =
+          (nb::scaledJacobi(n, a, 0, u + h, v) - nb::scaledJacobi(n, a, 0, u - h, v)) / (2 * h);
+      const double fdv =
+          (nb::scaledJacobi(n, a, 0, u, v + h) - nb::scaledJacobi(n, a, 0, u, v - h)) / (2 * h);
+      EXPECT_NEAR(d.du, fdu, 1e-6 * std::max(1.0, std::fabs(fdu)));
+      EXPECT_NEAR(d.dv, fdv, 1e-6 * std::max(1.0, std::fabs(fdv)));
+    }
+}
+
+TEST(GaussJacobi, TwoPointLegendre) {
+  const auto r = nb::gaussJacobi(2, 0, 0);
+  ASSERT_EQ(r.size(), 2);
+  EXPECT_NEAR(r.nodes[0], -1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(r.nodes[1], 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(r.weights[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.weights[1], 1.0, 1e-12);
+}
+
+TEST(GaussJacobi, LegendreExactness) {
+  // n-point rule integrates x^k exactly for k <= 2n-1 over [-1,1].
+  for (int_t n = 1; n <= 8; ++n) {
+    const auto r = nb::gaussJacobi(n, 0, 0);
+    for (int_t k = 0; k <= 2 * n - 1; ++k) {
+      double s = 0.0;
+      for (int_t i = 0; i < n; ++i) s += r.weights[i] * std::pow(r.nodes[i], k);
+      const double exact = (k % 2 == 0) ? 2.0 / (k + 1) : 0.0;
+      EXPECT_NEAR(s, exact, 1e-12) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(GaussJacobi, WeightOneZeroExactness) {
+  // integral (1-x) x^k dx over [-1,1].
+  for (int_t n = 2; n <= 6; ++n) {
+    const auto r = nb::gaussJacobi(n, 1, 0);
+    for (int_t k = 0; k <= 2 * n - 2; ++k) {
+      double s = 0.0;
+      for (int_t i = 0; i < n; ++i) s += r.weights[i] * std::pow(r.nodes[i], k);
+      const double intXk = (k % 2 == 0) ? 2.0 / (k + 1) : 0.0;
+      const double intXk1 = ((k + 1) % 2 == 0) ? 2.0 / (k + 2) : 0.0;
+      EXPECT_NEAR(s, intXk - intXk1, 1e-12) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(GaussJacobi, WeightTwoZeroTotalMass) {
+  // integral (1-x)^2 dx over [-1,1] = 8/3.
+  const auto r = nb::gaussJacobi(4, 2, 0);
+  double s = 0.0;
+  for (double w : r.weights) s += w;
+  EXPECT_NEAR(s, 8.0 / 3.0, 1e-12);
+}
+
+TEST(Quadrature, TriangleAreaAndMoments) {
+  const auto pts = nb::triangleQuadrature(4);
+  double area = 0.0, mx = 0.0, mxy = 0.0;
+  for (const auto& p : pts) {
+    area += p.weight;
+    mx += p.weight * p.xi[0];
+    mxy += p.weight * p.xi[0] * p.xi[1];
+  }
+  EXPECT_NEAR(area, 0.5, 1e-13);
+  EXPECT_NEAR(mx, 1.0 / 6.0, 1e-13);     // int x over unit triangle
+  EXPECT_NEAR(mxy, 1.0 / 24.0, 1e-13);   // int x*y
+}
+
+TEST(Quadrature, TetVolumeAndMoments) {
+  const auto pts = nb::tetQuadrature(4);
+  double vol = 0.0, mx = 0.0, mxyz = 0.0, mz2 = 0.0;
+  for (const auto& p : pts) {
+    vol += p.weight;
+    mx += p.weight * p.xi[0];
+    mxyz += p.weight * p.xi[0] * p.xi[1] * p.xi[2];
+    mz2 += p.weight * p.xi[2] * p.xi[2];
+  }
+  EXPECT_NEAR(vol, 1.0 / 6.0, 1e-13);
+  EXPECT_NEAR(mx, 1.0 / 24.0, 1e-13);
+  EXPECT_NEAR(mxyz, 1.0 / 720.0, 1e-14);
+  EXPECT_NEAR(mz2, 1.0 / 60.0, 1e-13);
+}
+
+TEST(Quadrature, PointsInsideSimplex) {
+  for (const auto& p : nb::triangleQuadrature(6)) {
+    EXPECT_GT(p.xi[0], 0.0);
+    EXPECT_GT(p.xi[1], 0.0);
+    EXPECT_LT(p.xi[0] + p.xi[1], 1.0);
+  }
+  for (const auto& p : nb::tetQuadrature(6)) {
+    EXPECT_GT(p.xi[0], 0.0);
+    EXPECT_GT(p.xi[1], 0.0);
+    EXPECT_GT(p.xi[2], 0.0);
+    EXPECT_LT(p.xi[0] + p.xi[1] + p.xi[2], 1.0);
+  }
+}

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "kernels/ader_kernels.hpp"
+#include "kernels/kernel_setup.hpp"
+#include "mesh/box_gen.hpp"
+#include "mesh/geometry.hpp"
+#include "physics/attenuation.hpp"
+
+namespace nk = nglts::kernels;
+namespace nm = nglts::mesh;
+namespace np = nglts::physics;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+struct KernelFixture {
+  nm::TetMesh mesh;
+  std::vector<nm::ElementGeometry> geo;
+  std::vector<np::Material> mats;
+  std::vector<nk::ElementData<double>> ed;
+  int_t mechs;
+};
+
+KernelFixture makeSetup(int_t mechs, bool jitterMesh = true) {
+  KernelFixture s;
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1.0, 3);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1.0, 3);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1.0, 3);
+  spec.periodic = {true, true, true};
+  spec.jitter = jitterMesh ? 0.15 : 0.0;
+  s.mesh = nm::generateBox(spec);
+  s.geo = nm::computeGeometry(s.mesh);
+  s.mechs = mechs;
+  np::Material m = mechs > 0
+                       ? np::viscoElasticMaterial(2600.0, 4.0, 2.0, 120.0, 40.0, mechs, 1.0)
+                       : np::elasticMaterial(2600.0, 4.0, 2.0);
+  s.mats.assign(s.mesh.numElements(), m);
+  s.ed = nk::buildAllElementData<double>(s.mesh, s.geo, s.mats, mechs);
+  return s;
+}
+
+} // namespace
+
+TEST(AderKernels, ConstantStatePredictorElastic) {
+  const KernelFixture s = makeSetup(0);
+  nk::AderKernels<double, 1> kern(4, 0, false);
+  auto scratch = kern.makeScratch();
+  const std::size_t n = kern.dofsPerElement();
+  std::vector<double> q(n, 0.0), ti(n, 0.0);
+  // Constant state: only mode 0 of each variable.
+  const int_t nb = kern.numBasis();
+  for (int_t v = 0; v < 9; ++v) q[static_cast<std::size_t>(v) * nb] = v + 1.0;
+  const double dt = 0.01;
+  std::vector<double> b1(kern.elasticDofsPerElement()), b2(b1.size()), b3(b1.size());
+  kern.timePredict(s.ed[0], q.data(), dt, ti.data(), b1.data(), b2.data(), b3.data(), false,
+                   scratch);
+  // For a constant state all spatial derivatives vanish: T = dt * q.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ti[i], dt * q[i], 1e-13);
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_NEAR(b1[i], dt * q[i], 1e-13);
+    EXPECT_NEAR(b2[i], 0.5 * dt * q[i], 1e-13);
+    EXPECT_NEAR(b3[i], b1[i], 0.0);
+  }
+}
+
+TEST(AderKernels, B3Accumulation) {
+  const KernelFixture s = makeSetup(0);
+  nk::AderKernels<double, 1> kern(3, 0, false);
+  auto scratch = kern.makeScratch();
+  std::vector<double> q(kern.dofsPerElement(), 0.0), ti(q.size());
+  const int_t nb = kern.numBasis();
+  for (int_t v = 0; v < 9; ++v) q[static_cast<std::size_t>(v) * nb] = 1.0;
+  std::vector<double> b1(kern.elasticDofsPerElement()), b3(b1.size());
+  kern.timePredict(s.ed[0], q.data(), 0.01, ti.data(), b1.data(), nullptr, b3.data(), false,
+                   scratch);
+  kern.timePredict(s.ed[0], q.data(), 0.01, ti.data(), b1.data(), nullptr, b3.data(), true,
+                   scratch);
+  for (std::size_t i = 0; i < b1.size(); ++i) EXPECT_NEAR(b3[i], 2.0 * b1[i], 1e-14);
+}
+
+namespace {
+
+/// One global GTS step over all elements using the kernels directly.
+template <int W>
+double maxUpdateForConstantState(const KernelFixture& s, int_t order, bool sparse) {
+  nk::AderKernels<double, W> kern(order, s.mechs,
+                                  sparse, s.mats[0].omega);
+  auto scratch = kern.makeScratch();
+  const idx_t K = s.mesh.numElements();
+  const std::size_t n = kern.dofsPerElement();
+  const int_t nb = kern.numBasis();
+  nglts::aligned_vector<double> q(K * n, 0.0);
+  // Constant state across the mesh (including memory variables).
+  // Memory variables must be zero: a nonzero constant theta is not a steady
+  // state (theta_t = -omega theta).
+  for (idx_t el = 0; el < K; ++el)
+    for (int_t v = 0; v < 9; ++v)
+      for (int_t w = 0; w < W; ++w)
+        q[el * n + (static_cast<std::size_t>(v) * nb) * W + w] = 0.5 + 0.1 * v;
+
+  const double dt = 1e-3;
+  nglts::aligned_vector<double> buf(K * kern.elasticDofsPerElement(), 0.0);
+  nglts::aligned_vector<double> qNew = q;
+  // Local phase: predictor (buffers = B1 only) + volume + local surface.
+  for (idx_t el = 0; el < K; ++el) {
+    kern.timePredict(s.ed[el], &q[el * n], dt, scratch.timeInt.data(),
+                     &buf[el * kern.elasticDofsPerElement()], nullptr, nullptr, false, scratch);
+    kern.volumeAndLocalSurface(s.ed[el], scratch.timeInt.data(), &qNew[el * n], scratch);
+  }
+  // Neighbor phase.
+  for (idx_t el = 0; el < K; ++el)
+    for (int_t f = 0; f < 4; ++f) {
+      const auto& fi = s.mesh.faces[el][f];
+      if (fi.neighbor < 0) continue;
+      kern.neighborContribution(s.ed[el], f, fi.neighborFace, fi.perm,
+                                &buf[fi.neighbor * kern.elasticDofsPerElement()], &qNew[el * n],
+                                scratch);
+    }
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < q.size(); ++i) maxDiff = std::max(maxDiff, std::fabs(qNew[i] - q[i]));
+  return maxDiff;
+}
+
+} // namespace
+
+TEST(AderKernels, ConstantStatePreservedElastic) {
+  const KernelFixture s = makeSetup(0);
+  EXPECT_NEAR(maxUpdateForConstantState<1>(s, 3, false), 0.0, 1e-10);
+}
+
+TEST(AderKernels, ConstantStatePreservedElasticSparse) {
+  const KernelFixture s = makeSetup(0);
+  EXPECT_NEAR(maxUpdateForConstantState<1>(s, 3, true), 0.0, 1e-10);
+}
+
+TEST(AderKernels, ConstantStatePreservedAnelastic) {
+  // With memory variables = 0 and constant elastic state, the anelastic
+  // reactive terms vanish and the state is preserved.
+  KernelFixture s = makeSetup(3);
+  EXPECT_NEAR(maxUpdateForConstantState<1>(s, 3, false), 0.0, 1e-10);
+}
+
+TEST(AderKernels, FusedMatchesSingle) {
+  const KernelFixture s = makeSetup(3);
+  nk::AderKernels<double, 1> k1(3, 3, false, s.mats[0].omega);
+  nk::AderKernels<double, 4> k4(3, 3, true, s.mats[0].omega);
+  auto s1 = k1.makeScratch();
+  auto s4 = k4.makeScratch();
+  const int_t nb = k1.numBasis();
+  const int_t nq = k1.numQuantities();
+
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> q1(k1.dofsPerElement());
+  for (auto& v : q1) v = uni(rng);
+  std::vector<double> q4(k4.dofsPerElement());
+  for (int_t v = 0; v < nq; ++v)
+    for (int_t b = 0; b < nb; ++b)
+      for (int_t w = 0; w < 4; ++w)
+        q4[(static_cast<std::size_t>(v) * nb + b) * 4 + w] = q1[static_cast<std::size_t>(v) * nb + b];
+
+  const double dt = 0.01;
+  std::vector<double> t1v(k1.dofsPerElement()), t4v(k4.dofsPerElement());
+  std::vector<double> u1 = q1, u4 = q4;
+  k1.timePredict(s.ed[0], q1.data(), dt, t1v.data(), nullptr, nullptr, nullptr, false, s1);
+  k4.timePredict(s.ed[0], q4.data(), dt, t4v.data(), nullptr, nullptr, nullptr, false, s4);
+  k1.volumeAndLocalSurface(s.ed[0], t1v.data(), u1.data(), s1);
+  k4.volumeAndLocalSurface(s.ed[0], t4v.data(), u4.data(), s4);
+  for (int_t v = 0; v < nq; ++v)
+    for (int_t b = 0; b < nb; ++b) {
+      const double ref = u1[static_cast<std::size_t>(v) * nb + b];
+      for (int_t w = 0; w < 4; ++w)
+        EXPECT_NEAR(u4[(static_cast<std::size_t>(v) * nb + b) * 4 + w], ref,
+                    1e-11 * std::max(1.0, std::fabs(ref)))
+            << "v=" << v << " b=" << b << " w=" << w;
+    }
+}
+
+TEST(AderKernels, CompressedNeighborEquivalent) {
+  const KernelFixture s = makeSetup(3);
+  nk::AderKernels<double, 1> kern(4, 3, false, s.mats[0].omega);
+  auto scratch = kern.makeScratch();
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> neighData(kern.elasticDofsPerElement());
+  for (auto& v : neighData) v = uni(rng);
+
+  // Pick an interior face.
+  const idx_t el = 0;
+  const auto& fi = s.mesh.faces[el][0];
+  ASSERT_GE(fi.neighbor, 0);
+  std::vector<double> qDirect(kern.dofsPerElement(), 0.0), qComp(kern.dofsPerElement(), 0.0);
+  kern.neighborContribution(s.ed[el], 0, fi.neighborFace, fi.perm, neighData.data(),
+                            qDirect.data(), scratch);
+  // Sender-side compression: the sender is the neighbor; its own face id is
+  // fi.neighborFace and the receiver permutation is fi.perm.
+  std::vector<double> faceLocal(kern.faceDataSize());
+  kern.compressBuffer(fi.neighborFace, fi.perm, neighData.data(), faceLocal.data());
+  kern.neighborContributionFaceLocal(s.ed[el], 0, faceLocal.data(), qComp.data(), scratch);
+  for (std::size_t i = 0; i < qDirect.size(); ++i)
+    EXPECT_NEAR(qComp[i], qDirect[i], 1e-11 * std::max(1.0, std::fabs(qDirect[i])));
+}
+
+TEST(AderKernels, DerivStackIntegrationMatchesBuffers) {
+  const KernelFixture s = makeSetup(3);
+  nk::AderKernels<double, 1> kern(4, 3, false, s.mats[0].omega);
+  auto scratch = kern.makeScratch();
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> q(kern.dofsPerElement());
+  for (auto& v : q) v = uni(rng);
+
+  const double dt = 0.02;
+  std::vector<double> ti(kern.dofsPerElement());
+  std::vector<double> b1(kern.elasticDofsPerElement()), b2(b1.size());
+  std::vector<double> stack(static_cast<std::size_t>(kern.order()) * b1.size());
+  kern.timePredict(s.ed[0], q.data(), dt, ti.data(), b1.data(), b2.data(), nullptr, false,
+                   scratch, stack.data());
+  // integrate derivatives over [0, dt] -> B1; [0, dt/2] -> B2;
+  // [dt/2, dt] -> B1 - B2.
+  std::vector<double> out(b1.size());
+  kern.integrateDerivStack(stack.data(), 0.0, dt, out.data());
+  for (std::size_t i = 0; i < b1.size(); ++i) EXPECT_NEAR(out[i], b1[i], 1e-12);
+  kern.integrateDerivStack(stack.data(), 0.0, dt / 2, out.data());
+  for (std::size_t i = 0; i < b2.size(); ++i) EXPECT_NEAR(out[i], b2[i], 1e-12);
+  kern.integrateDerivStack(stack.data(), dt / 2, dt / 2, out.data());
+  for (std::size_t i = 0; i < b1.size(); ++i) EXPECT_NEAR(out[i], b1[i] - b2[i], 1e-12);
+}
+
+TEST(AderKernels, FlopCountsPositiveAndSparseSmaller) {
+  const KernelFixture s = makeSetup(3);
+  nk::AderKernels<double, 1> dense(4, 3, false, s.mats[0].omega);
+  nk::AderKernels<double, 1> sparse(4, 3, true, s.mats[0].omega);
+  auto sd = dense.makeScratch();
+  auto ss = sparse.makeScratch();
+  std::vector<double> q(dense.dofsPerElement(), 0.1), ti(q.size());
+  std::vector<double> u = q;
+  const auto fd = dense.timePredict(s.ed[0], q.data(), 0.01, ti.data(), nullptr, nullptr, nullptr,
+                                    false, sd) +
+                  dense.volumeAndLocalSurface(s.ed[0], ti.data(), u.data(), sd);
+  std::vector<double> u2 = q;
+  const auto fs = sparse.timePredict(s.ed[0], q.data(), 0.01, ti.data(), nullptr, nullptr,
+                                     nullptr, false, ss) +
+                  sparse.volumeAndLocalSurface(s.ed[0], ti.data(), u2.data(), ss);
+  EXPECT_GT(fd, 0u);
+  EXPECT_GT(fs, 0u);
+  EXPECT_LT(fs, fd); // sparse kernels drop the zero operations
+}

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lts/clustering.hpp"
+#include "lts/schedule.hpp"
+#include "mesh/box_gen.hpp"
+#include "mesh/geometry.hpp"
+#include "physics/attenuation.hpp"
+#include "seismo/velocity_model.hpp"
+
+namespace nl = nglts::lts;
+namespace nm = nglts::mesh;
+namespace np = nglts::physics;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+struct LtsFixture {
+  nm::TetMesh mesh;
+  std::vector<nm::ElementGeometry> geo;
+  std::vector<np::Material> mats;
+  std::vector<double> dt;
+};
+
+/// Two-layer medium (fast bottom, slow top) + jitter: a continuous dt spread.
+LtsFixture makeFixture(idx_t n = 6) {
+  LtsFixture f;
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.jitter = 0.2;
+  f.mesh = nm::generateBox(spec);
+  f.geo = nm::computeGeometry(f.mesh);
+  f.mats.resize(f.mesh.numElements());
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const auto c = f.mesh.centroid(e);
+    const double vs = c[2] > 500.0 ? 500.0 : 2000.0;
+    f.mats[e] = np::elasticMaterial(2600.0, vs * std::sqrt(3.0), vs);
+  }
+  f.dt = nl::cflTimeSteps(f.geo, f.mats, 4);
+  return f;
+}
+
+} // namespace
+
+TEST(CflTimeSteps, ScalesInverselyWithVelocityAndOrder) {
+  const LtsFixture f = makeFixture(3);
+  const auto dt4 = nl::cflTimeSteps(f.geo, f.mats, 4);
+  const auto dt5 = nl::cflTimeSteps(f.geo, f.mats, 5);
+  for (std::size_t e = 0; e < dt4.size(); ++e) {
+    EXPECT_GT(dt4[e], 0.0);
+    EXPECT_NEAR(dt5[e] / dt4[e], 7.0 / 9.0, 1e-12); // (2*4-1)/(2*5-1)
+  }
+}
+
+TEST(Clustering, AssignsToCorrectIntervals) {
+  const LtsFixture f = makeFixture();
+  const auto c = nl::buildClustering(f.mesh, f.dt, 3, 1.0, /*normalize=*/false);
+  EXPECT_EQ(c.numClusters, 3);
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const int_t l = c.cluster[e];
+    // Element step must lie above the cluster's lower bound and the cluster
+    // step must satisfy the element's CFL.
+    EXPECT_LE(c.clusterDt[l], f.dt[e] + 1e-15);
+    if (l + 1 < c.numClusters) EXPECT_LT(f.dt[e], c.clusterDt[l + 1] * (1 + 1e-12));
+  }
+}
+
+TEST(Clustering, ClusterDtDoubles) {
+  const LtsFixture f = makeFixture(4);
+  const auto c = nl::buildClustering(f.mesh, f.dt, 4, 0.77);
+  for (int_t l = 1; l < 4; ++l) EXPECT_NEAR(c.clusterDt[l], 2.0 * c.clusterDt[l - 1], 1e-15);
+  EXPECT_NEAR(c.clusterDt[0], 0.77 * c.dtMin, 1e-15);
+}
+
+TEST(Clustering, NormalizationEnforcesRateConstraint) {
+  const LtsFixture f = makeFixture();
+  const auto c = nl::buildClustering(f.mesh, f.dt, 4, 1.0);
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e)
+    for (int_t fc = 0; fc < 4; ++fc) {
+      const idx_t nb = f.mesh.faces[e][fc].neighbor;
+      if (nb < 0) continue;
+      EXPECT_LE(std::abs(c.cluster[e] - c.cluster[nb]), 1);
+    }
+}
+
+TEST(Clustering, NormalizationLossIsSmall) {
+  // The paper reports < 1.5% loss from normalization in practice.
+  const LtsFixture f = makeFixture(8);
+  const auto cn = nl::buildClustering(f.mesh, f.dt, 3, 1.0, true);
+  const auto cu = nl::buildClustering(f.mesh, f.dt, 3, 1.0, false);
+  EXPECT_LE(cn.theoreticalSpeedup, cu.theoreticalSpeedup + 1e-12);
+  EXPECT_GT(cn.theoreticalSpeedup, 0.9 * cu.theoreticalSpeedup);
+}
+
+TEST(Clustering, SpeedupGreaterThanOneForHeterogeneous) {
+  const LtsFixture f = makeFixture();
+  const auto c = nl::buildClustering(f.mesh, f.dt, 3, 1.0);
+  EXPECT_GT(c.theoreticalSpeedup, 1.5);
+}
+
+TEST(Clustering, SingleClusterIsGts) {
+  const LtsFixture f = makeFixture(3);
+  const auto c = nl::buildClustering(f.mesh, f.dt, 1, 1.0);
+  EXPECT_EQ(c.clusterSize[0], f.mesh.numElements());
+  EXPECT_NEAR(c.theoreticalSpeedup, 1.0, 1e-12);
+}
+
+TEST(Clustering, LoadFractionsSumToOne) {
+  const LtsFixture f = makeFixture();
+  const auto c = nl::buildClustering(f.mesh, f.dt, 4, 0.9);
+  double s = 0.0;
+  for (double v : c.loadFraction) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(Clustering, InvalidParamsThrow) {
+  const LtsFixture f = makeFixture(3);
+  EXPECT_THROW(nl::buildClustering(f.mesh, f.dt, 0, 1.0), std::runtime_error);
+  EXPECT_THROW(nl::buildClustering(f.mesh, f.dt, 3, 0.5), std::runtime_error);
+  EXPECT_THROW(nl::buildClustering(f.mesh, f.dt, 3, 1.01), std::runtime_error);
+}
+
+TEST(LambdaSweep, FindsImprovement) {
+  const LtsFixture f = makeFixture(8);
+  const auto sweep = nl::optimizeLambda(f.mesh, f.dt, 3);
+  EXPECT_EQ(sweep.lambdas.size(), 50u);
+  const auto atOne = nl::buildClustering(f.mesh, f.dt, 3, 1.0);
+  EXPECT_GE(sweep.bestSpeedup, atOne.theoreticalSpeedup - 1e-12);
+  EXPECT_GT(sweep.bestLambda, 0.5);
+  EXPECT_LE(sweep.bestLambda, 1.0);
+}
+
+// -- schedule ---------------------------------------------------------------
+
+class ScheduleP : public ::testing::TestWithParam<int_t> {};
+
+TEST_P(ScheduleP, OpCountsMatchRateTwo) {
+  const int_t nc = GetParam();
+  const auto ops = nl::buildSchedule(nc);
+  std::vector<idx_t> locals(nc, 0), neighbors(nc, 0);
+  for (const auto& op : ops)
+    (op.kind == nl::PhaseKind::kLocal ? locals : neighbors)[op.cluster]++;
+  for (int_t l = 0; l < nc; ++l) {
+    EXPECT_EQ(locals[l], nl::stepsPerCycle(nc, l));
+    EXPECT_EQ(neighbors[l], nl::stepsPerCycle(nc, l));
+  }
+}
+
+TEST_P(ScheduleP, PassesLegalityCheck) {
+  const int_t nc = GetParam();
+  EXPECT_NO_THROW(nl::checkSchedule(nl::buildSchedule(nc), nc));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterCounts, ScheduleP, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Schedule, IllegalSequencesRejected) {
+  using Op = nl::ScheduleOp;
+  using K = nl::PhaseKind;
+  // Neighbor before local.
+  EXPECT_THROW(nl::checkSchedule({Op{K::kNeighbor, 0}}, 1), std::runtime_error);
+  // Missing the smaller cluster's second substep before the big neighbor op.
+  EXPECT_THROW(nl::checkSchedule({Op{K::kLocal, 1}, Op{K::kLocal, 0}, Op{K::kNeighbor, 0},
+                                  Op{K::kNeighbor, 1}},
+                                 2),
+               std::runtime_error);
+  // The correct 2-cluster cycle passes.
+  EXPECT_NO_THROW(nl::checkSchedule({Op{K::kLocal, 1}, Op{K::kLocal, 0}, Op{K::kNeighbor, 0},
+                                     Op{K::kLocal, 0}, Op{K::kNeighbor, 0}, Op{K::kNeighbor, 1}},
+                                    2));
+}

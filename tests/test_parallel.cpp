@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <thread>
+
+#include "mesh/box_gen.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/dist_sim.hpp"
+#include "physics/attenuation.hpp"
+#include "solver/simulation.hpp"
+
+namespace npar = nglts::parallel;
+namespace nm = nglts::mesh;
+namespace np = nglts::physics;
+namespace ns = nglts::solver;
+using nglts::idx_t;
+using nglts::int_t;
+
+TEST(Comm, SeqFifoOrder) {
+  npar::SeqComm c(2);
+  c.send(0, 1, 7, {1});
+  c.send(0, 1, 7, {2});
+  EXPECT_EQ(c.recv(1, 0, 7)[0], 1);
+  EXPECT_EQ(c.recv(1, 0, 7)[0], 2);
+  EXPECT_EQ(c.bytesSent(), 2u);
+}
+
+TEST(Comm, SeqMissingMessageThrows) {
+  npar::SeqComm c(2);
+  EXPECT_THROW(c.recv(1, 0, 3), std::runtime_error);
+}
+
+TEST(Comm, TagsIsolateChannels) {
+  npar::SeqComm c(2);
+  c.send(0, 1, 1, {10});
+  c.send(0, 1, 2, {20});
+  EXPECT_EQ(c.recv(1, 0, 2)[0], 20);
+  EXPECT_EQ(c.recv(1, 0, 1)[0], 10);
+}
+
+TEST(Comm, ThreadBlockingRecv) {
+  npar::ThreadComm c(2);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    c.send(0, 1, 5, {42});
+  });
+  const auto msg = c.recv(1, 0, 5);
+  producer.join();
+  ASSERT_EQ(msg.size(), 1u);
+  EXPECT_EQ(msg[0], 42);
+}
+
+namespace {
+
+struct DistFixture {
+  nm::TetMesh mesh;
+  std::vector<np::Material> mats;
+};
+
+DistFixture makeFixture(idx_t n = 5) {
+  DistFixture f;
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.jitter = 0.18;
+  f.mesh = nm::generateBox(spec);
+  f.mats.resize(f.mesh.numElements());
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const double vs = f.mesh.centroid(e)[2] > 500.0 ? 400.0 : 1600.0;
+    f.mats[e] = np::elasticMaterial(2600.0, vs * std::sqrt(3.0), vs);
+  }
+  return f;
+}
+
+std::vector<int_t> stripePartition(const nm::TetMesh& mesh, int_t parts, double extent) {
+  std::vector<int_t> p(mesh.numElements());
+  for (idx_t e = 0; e < mesh.numElements(); ++e) {
+    const int_t s = static_cast<int_t>(mesh.centroid(e)[0] / extent * parts);
+    p[e] = std::min(parts - 1, s);
+  }
+  return p;
+}
+
+void initWave(double x0, const std::array<double, 3>& x, double* q9) {
+  for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
+  const double r2 = (x[0] - x0) * (x[0] - x0) + (x[1] - 500.0) * (x[1] - 500.0) +
+                    (x[2] - 500.0) * (x[2] - 500.0);
+  q9[nglts::kVelU] = std::exp(-r2 / (200.0 * 200.0));
+}
+
+template <typename Real>
+std::vector<Real> runDistributed(int_t ranks, bool compress, bool threaded,
+                                 std::uint64_t* bytes = nullptr,
+                                 std::uint64_t* messages = nullptr) {
+  DistFixture f = makeFixture();
+  npar::DistConfig cfg;
+  cfg.order = 3;
+  cfg.numClusters = 3;
+  const auto part = stripePartition(f.mesh, ranks, 1000.0);
+  npar::DistributedSimulation<Real, 1> sim(f.mesh, f.mats, part, cfg);
+  sim.setInitialCondition(
+      [](const std::array<double, 3>& x, int_t, double* q9) { initWave(450.0, x, q9); });
+  const auto st = sim.run(0.3);
+  if (bytes) *bytes = st.commBytes;
+  if (messages) *messages = st.messages;
+  std::vector<Real> out;
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const Real* q = sim.dofs(e);
+    out.insert(out.end(), q, q + 10 * 9); // leading block is plenty
+  }
+  return out;
+}
+
+} // namespace
+
+TEST(DistributedSim, SingleRankMatchesMultiRank) {
+  const auto one = runDistributed<double>(1, true, false);
+  const auto four = runDistributed<double>(4, true, false);
+  ASSERT_EQ(one.size(), four.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < one.size(); ++i)
+    worst = std::max(worst, std::fabs(one[i] - four[i]));
+  EXPECT_LT(worst, 1e-11);
+}
+
+TEST(DistributedSim, CompressedMatchesUncompressed) {
+  std::uint64_t bytesC = 0, bytesU = 0;
+  const auto a = runDistributed<double>(3, true, false, &bytesC);
+  const auto b = runDistributed<double>(3, false, false, &bytesU);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::fabs(a[i] - b[i]));
+  EXPECT_LT(worst, 1e-11);
+}
+
+TEST(DistributedSim, CompressionReducesBytes) {
+  DistFixture f = makeFixture();
+  npar::DistConfig cfg;
+  cfg.order = 3;
+  cfg.numClusters = 3;
+  const auto part = stripePartition(f.mesh, 4, 1000.0);
+  for (bool compress : {false, true}) {
+    npar::DistConfig c2 = cfg;
+    c2.compressFaces = compress;
+    npar::DistributedSimulation<double, 1> sim(f.mesh, f.mats, part, c2);
+    sim.setInitialCondition(
+        [](const std::array<double, 3>& x, int_t, double* q9) { initWave(450.0, x, q9); });
+    const auto st = sim.run(0.2);
+    if (!compress) {
+      EXPECT_GT(st.commBytes, 0u);
+    }
+    static std::uint64_t uncompressed = 0;
+    if (!compress)
+      uncompressed = st.commBytes;
+    else {
+      // F(3)/B(3) = 6/10 per dataset.
+      EXPECT_NEAR(static_cast<double>(st.commBytes) / uncompressed, 0.6, 1e-6);
+    }
+  }
+}
+
+TEST(DistributedSim, ThreadedMatchesSequential) {
+  const auto seq = runDistributed<double>(4, true, false);
+  const auto thr = runDistributed<double>(4, true, true);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    worst = std::max(worst, std::fabs(seq[i] - thr[i]));
+  EXPECT_LT(worst, 1e-11);
+}
+
+TEST(DistributedSim, MatchesSharedMemorySolver) {
+  // The distributed driver must reproduce the Simulation class's LTS result.
+  DistFixture f = makeFixture();
+  ns::SimConfig scfg;
+  scfg.order = 3;
+  scfg.scheme = ns::TimeScheme::kLtsNextGen;
+  scfg.numClusters = 3;
+  ns::Simulation<double, 1> ref(f.mesh, f.mats, scfg);
+  ref.setInitialCondition(
+      [](const std::array<double, 3>& x, int_t, double* q9) { initWave(450.0, x, q9); });
+  const auto st = ref.run(0.3);
+
+  const auto dist = runDistributed<double>(4, true, false);
+  double worst = 0.0;
+  std::size_t i = 0;
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const double* q = ref.dofs(e);
+    for (int_t j = 0; j < 90; ++j, ++i) worst = std::max(worst, std::fabs(q[j] - dist[i]));
+  }
+  (void)st;
+  EXPECT_LT(worst, 1e-11);
+}

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lts/clustering.hpp"
+#include "mesh/box_gen.hpp"
+#include "mesh/geometry.hpp"
+#include "partition/dual_graph.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/reorder.hpp"
+#include "physics/attenuation.hpp"
+
+namespace npart = nglts::partition;
+namespace nm = nglts::mesh;
+namespace nl = nglts::lts;
+namespace np = nglts::physics;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+struct Fixture {
+  nm::TetMesh mesh;
+  nl::Clustering clustering;
+};
+
+Fixture makeFixture(idx_t n = 8, int_t nc = 3) {
+  Fixture f;
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.jitter = 0.2;
+  f.mesh = nm::generateBox(spec);
+  const auto geo = nm::computeGeometry(f.mesh);
+  std::vector<np::Material> mats(f.mesh.numElements());
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const auto c = f.mesh.centroid(e);
+    const double vs = 400.0 + 3.0 * c[2];
+    mats[e] = np::elasticMaterial(2600.0, vs * std::sqrt(3.0), vs);
+  }
+  const auto dt = nl::cflTimeSteps(geo, mats, 4);
+  f.clustering = nl::buildClustering(f.mesh, dt, nc, 1.0);
+  return f;
+}
+
+} // namespace
+
+TEST(DualGraph, StructureMatchesMesh) {
+  const Fixture f = makeFixture(4);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  ASSERT_EQ(g.numVertices, f.mesh.numElements());
+  for (idx_t e = 0; e < g.numVertices; ++e) {
+    idx_t interior = 0;
+    for (int_t fc = 0; fc < 4; ++fc)
+      if (f.mesh.faces[e][fc].neighbor >= 0) ++interior;
+    EXPECT_EQ(g.adjPtr[e + 1] - g.adjPtr[e], interior);
+  }
+}
+
+TEST(DualGraph, VertexWeightsAreUpdateFrequencies) {
+  const Fixture f = makeFixture(4);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  for (idx_t e = 0; e < g.numVertices; ++e) {
+    const int_t cl = f.clustering.cluster[e];
+    EXPECT_DOUBLE_EQ(g.vertexWeight[e],
+                     static_cast<double>(idx_t{1} << (f.clustering.numClusters - 1 - cl)));
+  }
+}
+
+TEST(DualGraph, UniformVariant) {
+  const Fixture f = makeFixture(3);
+  const auto g = npart::buildDualGraphUniform(f.mesh);
+  for (double w : g.vertexWeight) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+class PartitionP : public ::testing::TestWithParam<int_t> {};
+
+TEST_P(PartitionP, CoversAllElementsAndBalances) {
+  const int_t parts = GetParam();
+  const Fixture f = makeFixture(8);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, parts);
+  ASSERT_EQ(res.numParts, parts);
+  idx_t total = 0;
+  for (idx_t c : res.elements) {
+    EXPECT_GT(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, f.mesh.numElements());
+  // Weighted load balance within ~10%.
+  EXPECT_LT(res.imbalance, 1.10);
+}
+
+TEST_P(PartitionP, CutIsLocal) {
+  // The weighted cut must be far below the total edge weight (a random
+  // partition would cut ~ (parts-1)/parts of it).
+  const int_t parts = GetParam();
+  if (parts == 1) return;
+  const Fixture f = makeFixture(8);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, parts);
+  double totalEdge = 0.0;
+  for (double w : g.edgeWeight) totalEdge += w;
+  totalEdge *= 0.5;
+  EXPECT_LT(res.edgeCut, 0.35 * totalEdge);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionP, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Partition, LtsWeightsCauseElementImbalance) {
+  // Fig. 7's observation: balancing *weighted* load makes partitions with
+  // many large-time-step elements hold more elements in total.
+  const Fixture f = makeFixture(10);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, 8);
+  EXPECT_GT(res.elementSpread(), 1.05);
+}
+
+TEST(Partition, ClusterHistogramSums) {
+  const Fixture f = makeFixture(6);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, 4);
+  const auto hist = npart::clusterHistogram(res, f.clustering.cluster, f.clustering.numClusters);
+  for (int_t p = 0; p < 4; ++p) {
+    idx_t s = 0;
+    for (idx_t c : hist[p]) s += c;
+    EXPECT_EQ(s, res.elements[p]);
+  }
+}
+
+TEST(Reorder, PermutationIsValidAndSorted) {
+  const Fixture f = makeFixture(5);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, 3);
+  const auto r = npart::buildReordering(f.mesh, res.part, f.clustering.cluster);
+  // Valid permutation.
+  std::vector<bool> seen(f.mesh.numElements(), false);
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    EXPECT_EQ(r.newId[r.oldId[e]], e);
+    EXPECT_FALSE(seen[r.oldId[e]]);
+    seen[r.oldId[e]] = true;
+  }
+  // Sorted by (partition, cluster).
+  const auto part = npart::permute(res.part, r);
+  const auto clus = npart::permute(f.clustering.cluster, r);
+  for (idx_t e = 1; e < f.mesh.numElements(); ++e) {
+    EXPECT_GE(part[e], part[e - 1]);
+    if (part[e] == part[e - 1]) EXPECT_GE(clus[e], clus[e - 1]);
+  }
+}
+
+TEST(Reorder, AdjacencyPreserved) {
+  const Fixture f = makeFixture(4);
+  const auto g = npart::buildDualGraph(f.mesh, f.clustering);
+  const auto res = npart::partitionGraph(g, f.mesh, 2);
+  const auto r = npart::buildReordering(f.mesh, res.part, f.clustering.cluster);
+  const auto reordered = npart::applyReordering(f.mesh, r);
+  EXPECT_NO_THROW(nm::checkConnectivity(reordered));
+  // Element geometry is unchanged under relabeling.
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e)
+    EXPECT_EQ(reordered.elements[e], f.mesh.elements[r.oldId[e]]);
+}

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "pre/pipeline.hpp"
+#include "solver/simulation.hpp"
+
+namespace npre = nglts::pre;
+namespace nsei = nglts::seismo;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+npre::PipelineConfig smallConfig() {
+  npre::PipelineConfig cfg;
+  cfg.lo = {0.0, 0.0, -2000.0};
+  cfg.hi = {3000.0, 3000.0, 0.0};
+  cfg.maxFrequency = 1.0;
+  cfg.elementsPerWavelength = 0.7; // coarse: keeps the test fast
+  cfg.minEdge = 200.0;
+  cfg.order = 3;
+  cfg.mechanisms = 3;
+  cfg.numClusters = 3;
+  cfg.numPartitions = 3;
+  return cfg;
+}
+
+} // namespace
+
+TEST(Pipeline, EndToEndProducesConsistentArtifacts) {
+  const nsei::Loh3Model model(0.0);
+  const auto res = npre::runPipeline(model, smallConfig());
+
+  const idx_t n = res.mesh.numElements();
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(static_cast<idx_t>(res.materials.size()), n);
+  EXPECT_EQ(static_cast<idx_t>(res.dtCfl.size()), n);
+  EXPECT_EQ(static_cast<idx_t>(res.clustering.cluster.size()), n);
+  EXPECT_NO_THROW(nglts::mesh::checkConnectivity(res.mesh));
+
+  // Lambda sweep ran and picked a legal value.
+  EXPECT_GT(res.lambdaSweep.bestLambda, 0.5);
+  EXPECT_LE(res.lambdaSweep.bestLambda, 1.0);
+  EXPECT_DOUBLE_EQ(res.clustering.lambda, res.lambdaSweep.bestLambda);
+
+  // Partition ranges are contiguous and cover the mesh exactly.
+  idx_t covered = 0;
+  for (const auto& [lo, hi] : res.partitionRanges) {
+    EXPECT_LE(lo, hi);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, n);
+  for (idx_t e = 0; e < n; ++e) {
+    const auto& range = res.partitionRanges[res.parts.part[e]];
+    EXPECT_GE(e, range.first);
+    EXPECT_LT(e, range.second);
+  }
+  EXPECT_FALSE(res.summary().empty());
+}
+
+TEST(Pipeline, VelocityAwareMeshIsFinerInSlowLayer) {
+  const nsei::Loh3Model model(0.0);
+  auto cfg = smallConfig();
+  // Resolve 4 Hz so the layer/halfspace wavelength contrast is meshable
+  // within the 2 km domain (the coarse default hides the grading).
+  cfg.maxFrequency = 4.0;
+  cfg.elementsPerWavelength = 1.0;
+  cfg.minEdge = 100.0;
+  cfg.numPartitions = 1;
+  const auto res = npre::runPipeline(model, cfg);
+  // Average element volume in the (slow) layer must be smaller than in the
+  // (fast) halfspace.
+  const auto geo = nglts::mesh::computeGeometry(res.mesh);
+  double volLayer = 0.0, volHalf = 0.0;
+  idx_t nLayer = 0, nHalf = 0;
+  for (idx_t e = 0; e < res.mesh.numElements(); ++e) {
+    if (res.mesh.centroid(e)[2] > -1000.0) {
+      volLayer += geo[e].volume;
+      ++nLayer;
+    } else {
+      volHalf += geo[e].volume;
+      ++nHalf;
+    }
+  }
+  ASSERT_GT(nLayer, 0);
+  ASSERT_GT(nHalf, 0);
+  EXPECT_LT(volLayer / nLayer, 0.8 * volHalf / nHalf);
+}
+
+TEST(Pipeline, OutputRunsInSolver) {
+  const nsei::Loh3Model model(0.0);
+  const auto res = npre::runPipeline(model, smallConfig());
+  nglts::solver::SimConfig cfg;
+  cfg.order = 3;
+  cfg.mechanisms = 3;
+  cfg.scheme = nglts::solver::TimeScheme::kLtsNextGen;
+  cfg.numClusters = 3;
+  cfg.lambda = res.clustering.lambda;
+  cfg.attenuationFreq = 1.0;
+  nglts::solver::Simulation<float, 1> sim(res.mesh, res.materials, cfg);
+  sim.setInitialCondition([](const std::array<double, 3>&, int_t, double* q9) {
+    for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
+  });
+  const auto st = sim.run(2.0 * sim.cycleDt());
+  EXPECT_GT(st.cycles, 0u);
+}

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "basis/quadrature.hpp"
+#include "mesh/box_gen.hpp"
+#include "physics/attenuation.hpp"
+#include "seismo/velocity_model.hpp"
+#include "solver/simulation.hpp"
+
+namespace ns = nglts::solver;
+namespace nm = nglts::mesh;
+namespace np = nglts::physics;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+// Dimensionless homogeneous medium: rho = 1, mu = 1, lambda = 1
+// => vs = 1, vp = sqrt(3).
+np::Material unitMaterial() {
+  np::Material m;
+  m.rho = 1.0;
+  m.lambda = 1.0;
+  m.mu = 1.0;
+  return m;
+}
+
+/// Elastic plane-wave eigenvector moving along +x with speed c and
+/// polarization dir: q = r * sin(k (x - c t)).
+std::array<double, 9> planeWaveState(const np::Material& m, const std::array<double, 3>& dir,
+                                     double c, double phase) {
+  const std::array<double, 3> n = {1.0, 0.0, 0.0};
+  const double dn = dir[0];
+  std::array<double, 9> r;
+  double sig[3][3];
+  for (int_t i = 0; i < 3; ++i)
+    for (int_t j = 0; j < 3; ++j)
+      sig[i][j] = -(m.lambda * (i == j ? dn : 0.0) + m.mu * (dir[i] * n[j] + dir[j] * n[i])) / c;
+  r = {sig[0][0], sig[1][1], sig[2][2], sig[0][1], sig[1][2], sig[0][2], dir[0], dir[1], dir[2]};
+  for (double& v : r) v *= std::sin(phase);
+  return r;
+}
+
+struct WaveCase {
+  std::array<double, 3> dir;
+  double speed;
+};
+
+/// L2 error of the velocity components against the analytic plane wave.
+template <typename Real, int W>
+double planeWaveError(ns::Simulation<Real, W>& sim, const np::Material& m, const WaveCase& wc,
+                      double time) {
+  const auto quad = nglts::basis::tetQuadrature(5);
+  const auto& mesh = sim.meshRef();
+  const auto geo = nm::computeGeometry(mesh);
+  const double k = 2.0 * std::numbers::pi;
+  double err2 = 0.0, norm2 = 0.0;
+  for (idx_t el = 0; el < mesh.numElements(); ++el) {
+    const auto& v0 = mesh.vertices[mesh.elements[el][0]];
+    for (const auto& qp : quad) {
+      std::array<double, 3> x = v0;
+      for (int_t r = 0; r < 3; ++r)
+        for (int_t c = 0; c < 3; ++c) x[r] += geo[el].jac[r][c] * qp.xi[c];
+      const auto exact = planeWaveState(m, wc.dir, wc.speed, k * (x[0] - wc.speed * time));
+      const auto got = sim.sample(el, qp.xi);
+      const double w = qp.weight * geo[el].detJac;
+      for (int_t v = 6; v < 9; ++v) {
+        err2 += w * (got[v] - exact[v]) * (got[v] - exact[v]);
+        norm2 += w * exact[v] * exact[v];
+      }
+    }
+  }
+  return std::sqrt(err2 / norm2);
+}
+
+template <typename Real, int W>
+double runPlaneWave(int_t order, idx_t nx, const WaveCase& wc, double endTime,
+                    ns::TimeScheme scheme = ns::TimeScheme::kGts, int_t numClusters = 1,
+                    double jitter = 0.0, double* simTimeOut = nullptr) {
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1.0, nx);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1.0, nx);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1.0, nx);
+  spec.periodic = {true, true, true};
+  spec.jitter = jitter;
+  auto mesh = nm::generateBox(spec);
+  const np::Material m = unitMaterial();
+  std::vector<np::Material> mats(mesh.numElements(), m);
+
+  ns::SimConfig cfg;
+  cfg.order = order;
+  cfg.mechanisms = 0;
+  cfg.scheme = scheme;
+  cfg.numClusters = numClusters;
+  ns::Simulation<Real, W> sim(std::move(mesh), std::move(mats), cfg);
+
+  const double kWave = 2.0 * std::numbers::pi;
+  sim.setInitialCondition([&](const std::array<double, 3>& x, int_t, double* q9) {
+    const auto r = planeWaveState(m, wc.dir, wc.speed, kWave * x[0]);
+    for (int_t v = 0; v < 9; ++v) q9[v] = r[v];
+  });
+  const auto stats = sim.run(endTime);
+  if (simTimeOut) *simTimeOut = stats.simulatedTime;
+  return planeWaveError(sim, m, wc, stats.simulatedTime);
+}
+
+} // namespace
+
+class ConvergenceP : public ::testing::TestWithParam<int_t> {};
+
+TEST_P(ConvergenceP, PWaveObservedOrder) {
+  const int_t order = GetParam();
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double e1 = runPlaneWave<double, 1>(order, 3, wc, 0.1);
+  const double e2 = runPlaneWave<double, 1>(order, 6, wc, 0.1);
+  const double eoc = std::log2(e1 / e2);
+  EXPECT_GT(eoc, order - 0.8) << "errors " << e1 << " -> " << e2;
+  EXPECT_LT(e2, e1); // monotone refinement
+}
+
+TEST_P(ConvergenceP, SWaveObservedOrder) {
+  const int_t order = GetParam();
+  const WaveCase wc{{0.0, 1.0, 0.0}, 1.0}; // shear polarized in y
+  const double e1 = runPlaneWave<double, 1>(order, 3, wc, 0.1);
+  const double e2 = runPlaneWave<double, 1>(order, 6, wc, 0.1);
+  const double eoc = std::log2(e1 / e2);
+  EXPECT_GT(eoc, order - 0.8) << "errors " << e1 << " -> " << e2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ConvergenceP, ::testing::Values(2, 3, 4));
+
+TEST(Convergence, HighOrderBeatsLowOrderAtSameResolution) {
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double e2 = runPlaneWave<double, 1>(2, 4, wc, 0.1);
+  const double e4 = runPlaneWave<double, 1>(4, 4, wc, 0.1);
+  EXPECT_LT(e4, 0.1 * e2);
+}
+
+TEST(Convergence, JitteredMeshStillConverges) {
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double e1 = runPlaneWave<double, 1>(3, 3, wc, 0.1, ns::TimeScheme::kGts, 1, 0.15);
+  const double e2 = runPlaneWave<double, 1>(3, 6, wc, 0.1, ns::TimeScheme::kGts, 1, 0.15);
+  EXPECT_GT(std::log2(e1 / e2), 2.0);
+}
+
+TEST(Convergence, FloatKernelsMatchDoubleAtModerateAccuracy) {
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double ed = runPlaneWave<double, 1>(3, 4, wc, 0.1);
+  const double ef = runPlaneWave<float, 1>(3, 4, wc, 0.1);
+  EXPECT_NEAR(ef, ed, 0.1 * ed + 1e-4);
+}
+
+TEST(Convergence, LtsMatchesGtsAccuracyOnJitteredMesh) {
+  // The central accuracy claim of Fig. 9: LTS and GTS solutions are nearly
+  // identical. On a jittered mesh the clustering is nontrivial.
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double eGts = runPlaneWave<double, 1>(3, 4, wc, 0.12, ns::TimeScheme::kGts, 1, 0.22);
+  const double eLts =
+      runPlaneWave<double, 1>(3, 4, wc, 0.12, ns::TimeScheme::kLtsNextGen, 3, 0.22);
+  EXPECT_NEAR(eLts, eGts, 0.35 * eGts + 1e-6);
+}
+
+TEST(Convergence, BaselineLtsSameAccuracy) {
+  const WaveCase wc{{1.0, 0.0, 0.0}, std::sqrt(3.0)};
+  const double eNew =
+      runPlaneWave<double, 1>(3, 4, wc, 0.12, ns::TimeScheme::kLtsNextGen, 3, 0.22);
+  const double eBase =
+      runPlaneWave<double, 1>(3, 4, wc, 0.12, ns::TimeScheme::kLtsBaseline, 3, 0.22);
+  EXPECT_NEAR(eBase, eNew, 0.1 * eNew + 1e-8);
+}
