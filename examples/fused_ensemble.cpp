@@ -1,82 +1,20 @@
 // Fused ensemble simulations (Sec. IV-A): sixteen forward simulations with
 // differently scaled sources advance in one solver execution, vectorizing
 // the sparse kernels perfectly over the ensemble. By linearity, each lane's
-// seismogram must be its scale factor times the base lane — verified here —
-// and the throughput per simulation beats the single-simulation run.
+// seismogram must be its scale factor times the base lane — verified by the
+// scenario — and the throughput per simulation beats the single-simulation
+// run. The scenario lives in the CLI registry
+// (src/cli/scenarios_builtin.cpp); this wrapper is equivalent to
+// `nglts --scenario fused --fused 16`.
 #include <cstdio>
 
-#include "common/timer.hpp"
-#include "mesh/box_gen.hpp"
-#include "physics/attenuation.hpp"
-#include "seismo/misfit.hpp"
-#include "seismo/receiver.hpp"
-#include "seismo/source.hpp"
-#include "solver/simulation.hpp"
-
-using namespace nglts;
-
-namespace {
-
-template <int W>
-solver::Simulation<float, W> makeSim(bool sparse) {
-  mesh::BoxSpec spec;
-  spec.planes[0] = mesh::uniformPlanes(0.0, 2000.0, 8);
-  spec.planes[1] = mesh::uniformPlanes(0.0, 2000.0, 8);
-  spec.planes[2] = mesh::uniformPlanes(-2000.0, 0.0, 8);
-  spec.jitter = 0.18;
-  spec.freeSurfaceTop = true;
-  mesh::TetMesh mesh = mesh::generateBox(spec);
-  std::vector<physics::Material> mats(mesh.numElements());
-  for (idx_t e = 0; e < mesh.numElements(); ++e) {
-    const double vs = mesh.centroid(e)[2] > -500.0 ? 800.0 : 2400.0;
-    mats[e] = physics::viscoElasticMaterial(2600.0, vs * 1.8, vs, 100.0, 50.0, 3, 1.0);
-  }
-  solver::SimConfig cfg;
-  cfg.order = 4;
-  cfg.mechanisms = 3;
-  cfg.scheme = solver::TimeScheme::kLtsNextGen;
-  cfg.numClusters = 3;
-  cfg.sparseKernels = sparse;
-  cfg.attenuationFreq = 1.0;
-  return solver::Simulation<float, W>(std::move(mesh), std::move(mats), cfg);
-}
-
-} // namespace
+#include "cli/scenario.hpp"
 
 int main() {
-  constexpr int kWidth = 16;
-  auto sim = makeSim<kWidth>(true);
-
-  // Ensemble of sources: one per lane, scaled 1..16.
-  std::vector<double> scales(kWidth);
-  for (int w = 0; w < kWidth; ++w) scales[w] = 1.0 + w;
-  auto stf = std::make_shared<seismo::RickerWavelet>(1.0, 1.2, 1e9);
-  sim.addPointSource(
-      seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1, 0, 0}, stf), scales);
-  const idx_t rec = sim.addReceiver({1600.0, 1500.0, -30.0});
-
-  const auto stFused = sim.run(3.0);
-  std::printf("fused x%d run: %.2f s wall, %.3g element updates/s/lane, %.1f GFLOPS\n", kWidth,
-              stFused.seconds, stFused.elementUpdatesPerSecond(), stFused.gflops());
-
-  // Verify lane linearity against lane 0.
-  const auto base = seismo::resample(sim.receiver(rec).traces[0], kVelU, 3.0, 300);
-  double worstMisfit = 0.0;
-  for (int w = 1; w < kWidth; ++w) {
-    auto lane = seismo::resample(sim.receiver(rec).traces[w], kVelU, 3.0, 300);
-    std::vector<double> expect(base.size());
-    for (std::size_t i = 0; i < base.size(); ++i) expect[i] = scales[w] * base[i];
-    worstMisfit = std::max(worstMisfit, seismo::energyMisfit(lane, expect));
-  }
-  std::printf("worst lane-linearity misfit: %.3e (must be ~fp32 round-off)\n", worstMisfit);
-
-  // Compare against a single-simulation run for the per-simulation speedup.
-  auto single = makeSim<1>(false);
-  single.addPointSource(
-      seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1e9, 0, 0}, stf));
-  const auto stSingle = single.run(3.0);
-  std::printf("single run: %.2f s wall => fused per-simulation speedup %.2fx (paper: ~1.8-2.1x)\n",
-              stSingle.seconds, kWidth * stSingle.seconds / stFused.seconds / 1.0 /
-                                    (stSingle.simulatedTime / stFused.simulatedTime));
+  using namespace nglts;
+  cli::registerBuiltinScenarios();
+  const cli::Scenario* scenario = cli::ScenarioRegistry::instance().find("fused");
+  const cli::ScenarioReport report = scenario->run({});
+  std::printf("%s", report.summary.c_str());
   return 0;
 }

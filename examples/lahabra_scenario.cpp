@@ -2,55 +2,18 @@
 // velocity-aware meshing against the synthetic basin model, clustering with
 // the lambda sweep, weighted partitioning and reordering — then a
 // distributed LTS run over message-passing ranks with face-local
-// compression.
+// compression. The scenario lives in the CLI registry
+// (src/cli/scenarios_builtin.cpp); this wrapper is equivalent to
+// `nglts --scenario lahabra`.
 #include <cstdio>
 
-#include "parallel/dist_sim.hpp"
-#include "pre/pipeline.hpp"
-
-using namespace nglts;
+#include "cli/scenario.hpp"
 
 int main() {
-  seismo::LaHabraLikeModel::Params params;
-  params.zTop = 0.0;
-  params.basinCenter = {8000.0, 8000.0};
-  params.vsMin = 250.0; // the paper's reduced cutoff
-  const seismo::LaHabraLikeModel model(params);
-
-  pre::PipelineConfig cfg;
-  cfg.lo = {0.0, 0.0, -6000.0};
-  cfg.hi = {16000.0, 16000.0, 0.0};
-  cfg.maxFrequency = 0.5;
-  cfg.elementsPerWavelength = 2.0;
-  cfg.minEdge = 150.0;
-  cfg.order = 4;
-  cfg.mechanisms = 3;
-  cfg.numClusters = 5;
-  cfg.numPartitions = 4;
-
-  pre::PipelineResult pipe = pre::runPipeline(model, cfg);
-  std::printf("%s\n", pipe.summary().c_str());
-
-  parallel::DistConfig dcfg;
-  dcfg.order = cfg.order;
-  dcfg.mechanisms = cfg.mechanisms;
-  dcfg.numClusters = cfg.numClusters;
-  dcfg.lambda = pipe.clustering.lambda;
-  dcfg.compressFaces = true;
-  dcfg.threaded = true;
-  parallel::DistributedSimulation<float, 1> sim(pipe.mesh, pipe.materials, pipe.parts.part,
-                                                dcfg);
-  sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
-    for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
-    const double r2 = (x[0] - 8000.0) * (x[0] - 8000.0) + (x[1] - 8000.0) * (x[1] - 8000.0) +
-                      (x[2] + 3000.0) * (x[2] + 3000.0);
-    q9[kVelW] = std::exp(-r2 / 1.2e6);
-  });
-  const auto st = sim.run(6.0 * sim.cycleDt());
-  std::printf("distributed run: %d ranks, %llu cycles, %.2f s wall, %.3g element updates/s\n",
-              sim.ranks(), static_cast<unsigned long long>(st.cycles), st.seconds,
-              static_cast<double>(st.elementUpdates) / st.seconds);
-  std::printf("communication: %.2f MB in %llu messages (face-local compression on)\n",
-              st.commBytes / 1e6, static_cast<unsigned long long>(st.messages));
+  using namespace nglts;
+  cli::registerBuiltinScenarios();
+  const cli::Scenario* scenario = cli::ScenarioRegistry::instance().find("lahabra");
+  const cli::ScenarioReport report = scenario->run({});
+  std::printf("%s", report.summary.c_str());
   return 0;
 }

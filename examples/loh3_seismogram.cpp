@@ -1,86 +1,20 @@
 // LOH.3 benchmark scenario (paper Sec. VII-B): layer over halfspace with
 // constant-Q attenuation, a buried double-couple source and surface
-// receivers. Runs GTS and next-generation LTS back to back and reports the
-// seismogram misfit E between them, writing both traces to CSV.
+// receivers. Runs GTS and next-generation LTS back to back, reports the
+// seismogram misfit E between them and writes both traces to CSV. The
+// scenario lives in the CLI registry (src/cli/scenarios_builtin.cpp); this
+// wrapper is equivalent to `nglts --scenario loh3 --output ./`.
 #include <cstdio>
-#include <fstream>
 
-#include "mesh/box_gen.hpp"
-#include "mesh/geometry.hpp"
-#include "physics/attenuation.hpp"
-#include "seismo/misfit.hpp"
-#include "seismo/receiver.hpp"
-#include "seismo/source.hpp"
-#include "seismo/velocity_model.hpp"
-#include "solver/simulation.hpp"
-
-using namespace nglts;
-
-namespace {
-
-solver::Simulation<double, 1> makeLoh3(solver::TimeScheme scheme) {
-  // Scaled-down LOH.3: 6 km x 6 km x 3 km domain, velocity-aware vertical
-  // grading across the 1 km layer interface.
-  mesh::BoxSpec spec;
-  spec.planes[0] = mesh::uniformPlanes(0.0, 6000.0, 14);
-  spec.planes[1] = mesh::uniformPlanes(0.0, 6000.0, 14);
-  spec.planes[2] = mesh::gradedPlanes(-3000.0, 0.0,
-                                      [](double z) { return z > -1000.0 ? 260.0 : 450.0; });
-  spec.jitter = 0.2;
-  spec.freeSurfaceTop = true;
-  mesh::TetMesh mesh = mesh::generateBox(spec);
-
-  const seismo::Loh3Model model(0.0);
-  auto materials = seismo::materialsForMesh(mesh, model, 3, 1.0);
-
-  solver::SimConfig cfg;
-  cfg.order = 4;
-  cfg.mechanisms = 3;
-  cfg.attenuationFreq = 1.0;
-  cfg.scheme = scheme;
-  cfg.numClusters = 3;
-  cfg.autoLambda = scheme != solver::TimeScheme::kGts;
-  cfg.receiverSampleDt = 0.005;
-  return solver::Simulation<double, 1>(std::move(mesh), std::move(materials), cfg);
-}
-
-void addLoh3Setup(solver::Simulation<double, 1>& sim) {
-  // LOH-style source: M_xy double couple at 2 km depth, Brune moment rate.
-  auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
-  sim.addPointSource(
-      seismo::momentTensorSource({3000.0, 3000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
-  // The benchmark's "ninth receiver" direction, scaled into the domain.
-  sim.addReceiver({4800.0, 4200.0, -20.0});
-  sim.addReceiver({3900.0, 3600.0, -20.0});
-}
-
-} // namespace
+#include "cli/scenario.hpp"
 
 int main() {
-  const double tEnd = 2.0;
-  auto gts = makeLoh3(solver::TimeScheme::kGts);
-  auto lts = makeLoh3(solver::TimeScheme::kLtsNextGen);
-  std::printf("mesh: %lld elements; LTS lambda %.2f, theoretical speedup %.2fx\n",
-              static_cast<long long>(lts.meshRef().numElements()), lts.clustering().lambda,
-              lts.clustering().theoreticalSpeedup);
-  addLoh3Setup(gts);
-  addLoh3Setup(lts);
-
-  const auto sg = gts.run(tEnd);
-  const auto sl = lts.run(tEnd);
-  std::printf("GTS: %.2f s wall;  LTS: %.2f s wall  => measured speedup %.2fx\n", sg.seconds,
-              sl.seconds, sg.seconds / sl.seconds);
-
-  std::ofstream csv("loh3_seismograms.csv");
-  csv << "receiver,time,vx_gts,vx_lts\n";
-  for (idx_t r = 0; r < gts.numReceivers(); ++r) {
-    const auto a = seismo::resample(gts.receiver(r).traces[0], kVelU, tEnd, 400);
-    const auto b = seismo::resample(lts.receiver(r).traces[0], kVelU, tEnd, 400);
-    std::printf("receiver %lld: misfit E (LTS vs GTS) = %.3e, peak %.3e m/s\n",
-                static_cast<long long>(r), seismo::energyMisfit(b, a), seismo::peakAmplitude(a));
-    for (std::size_t i = 0; i < a.size(); ++i)
-      csv << r << ',' << tEnd * i / (a.size() - 1) << ',' << a[i] << ',' << b[i] << '\n';
-  }
-  std::printf("wrote loh3_seismograms.csv\n");
+  using namespace nglts;
+  cli::registerBuiltinScenarios();
+  const cli::Scenario* scenario = cli::ScenarioRegistry::instance().find("loh3");
+  cli::ScenarioOptions opts;
+  opts.outputPrefix = "./";
+  const cli::ScenarioReport report = scenario->run(opts);
+  std::printf("%s", report.summary.c_str());
   return 0;
 }

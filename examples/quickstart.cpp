@@ -1,72 +1,17 @@
-// Quickstart: the minimal end-to-end nglts workflow.
-//  1. generate a mesh, 2. assign materials, 3. configure the solver with the
-//  next-generation LTS scheme, 4. add a source and a receiver, 5. run, and
-//  6. inspect the seismogram and performance counters.
+// Quickstart: the minimal end-to-end nglts workflow — a 1 km^3 two-layer
+// viscoelastic box with the next-generation LTS scheme, one double-couple
+// source and one surface receiver. The scenario itself lives in the CLI
+// registry (src/cli/scenarios_builtin.cpp); this wrapper runs it with
+// default options, equivalent to `nglts --scenario quickstart`.
 #include <cstdio>
 
-#include "mesh/box_gen.hpp"
-#include "physics/attenuation.hpp"
-#include "seismo/receiver.hpp"
-#include "seismo/source.hpp"
-#include "solver/simulation.hpp"
-
-using namespace nglts;
+#include "cli/scenario.hpp"
 
 int main() {
-  // 1. A 1 km^3 box, ~100 m elements, jittered, free surface on top.
-  mesh::BoxSpec spec;
-  spec.planes[0] = mesh::uniformPlanes(0.0, 1000.0, 10);
-  spec.planes[1] = mesh::uniformPlanes(0.0, 1000.0, 10);
-  spec.planes[2] = mesh::uniformPlanes(-1000.0, 0.0, 10);
-  spec.jitter = 0.2;
-  spec.freeSurfaceTop = true;
-  mesh::TetMesh mesh = mesh::generateBox(spec);
-  std::printf("mesh: %lld tetrahedra\n", static_cast<long long>(mesh.numElements()));
-
-  // 2. A soft near-surface layer over stiffer rock (this drives the LTS
-  //    clustering), both viscoelastic with three relaxation mechanisms.
-  std::vector<physics::Material> materials(mesh.numElements());
-  for (idx_t e = 0; e < mesh.numElements(); ++e) {
-    const double vs = mesh.centroid(e)[2] > -250.0 ? 500.0 : 2000.0;
-    materials[e] =
-        physics::viscoElasticMaterial(2600.0, vs * 1.9, vs, 100.0, 50.0, 3, /*fCentral=*/2.0);
-  }
-
-  // 3. Solver: order 4, anelastic, next-generation LTS with swept lambda.
-  solver::SimConfig cfg;
-  cfg.order = 4;
-  cfg.mechanisms = 3;
-  cfg.scheme = solver::TimeScheme::kLtsNextGen;
-  cfg.numClusters = 3;
-  cfg.autoLambda = true;
-  cfg.attenuationFreq = 2.0;
-  solver::Simulation<double, 1> sim(std::move(mesh), std::move(materials), cfg);
-  std::printf("clusters:");
-  for (idx_t n : sim.clustering().clusterSize) std::printf(" %lld", static_cast<long long>(n));
-  std::printf("  (lambda %.2f, theoretical speedup %.2fx)\n", sim.clustering().lambda,
-              sim.clustering().theoreticalSpeedup);
-
-  // 4. A double-couple point source and a surface receiver.
-  auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
-  sim.addPointSource(
-      seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
-  const idx_t rec = sim.addReceiver({800.0, 750.0, -20.0});
-  if (rec < 0) {
-    std::fprintf(stderr, "receiver outside mesh\n");
-    return 1;
-  }
-
-  // 5. Run 2 seconds of simulated time.
-  const solver::PerfStats stats = sim.run(2.0);
-  std::printf("ran %llu cycles (%.3f simulated s) in %.2f s — %.3g element updates/s, %.1f "
-              "GFLOPS\n",
-              static_cast<unsigned long long>(stats.cycles), stats.simulatedTime, stats.seconds,
-              stats.elementUpdatesPerSecond(), stats.gflops());
-
-  // 6. Print a decimated seismogram (x-velocity).
-  const auto trace = seismo::resample(sim.receiver(rec).traces[0], kVelU, 2.0, 21);
-  std::printf("\n t [s]   vx\n");
-  for (std::size_t i = 0; i < trace.size(); ++i)
-    std::printf(" %5.2f   %+.4e\n", 2.0 * i / (trace.size() - 1), trace[i]);
+  using namespace nglts;
+  cli::registerBuiltinScenarios();
+  const cli::Scenario* scenario = cli::ScenarioRegistry::instance().find("quickstart");
+  const cli::ScenarioReport report = scenario->run({});
+  std::printf("%s", report.summary.c_str());
   return 0;
 }

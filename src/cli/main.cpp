@@ -1,0 +1,139 @@
+// `nglts` — the unified scenario driver. Lists and runs registered
+// scenarios with flag overrides for order, scheme, cluster count, fused
+// width, end time and mesh scale. See src/cli/scenario.hpp for the
+// scenario/registry API and scenarios_builtin.cpp for the workloads.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "cli/scenario.hpp"
+
+namespace {
+
+using namespace nglts;
+using namespace nglts::cli;
+
+void printUsage() {
+  std::printf(
+      "usage: nglts [--scenario NAME] [options]\n"
+      "\n"
+      "options:\n"
+      "  -s, --scenario NAME   scenario to run (default: quickstart)\n"
+      "  -l, --list-scenarios  list registered scenarios and exit\n"
+      "      --order N         convergence order, 1..7 (scenario default: usually 4)\n"
+      "      --scheme S        time stepping: gts | lts | baseline\n"
+      "      --clusters N      number of LTS clusters (>= 1)\n"
+      "      --fused W         fused-simulation width (1|2 double, 1|8|16 float scenarios)\n"
+      "      --end-time T      simulated end time [s]\n"
+      "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
+      "      --scale S         mesh-resolution multiplier (default 1.0)\n"
+      "      --output PREFIX   write CSV artifacts with this path prefix\n"
+      "  -q, --quiet           suppress progress output\n"
+      "  -h, --help            show this help\n");
+}
+
+[[noreturn]] void usageError(const std::string& message) {
+  std::fprintf(stderr, "nglts: %s\n", message.c_str());
+  std::fprintf(stderr, "try 'nglts --help'\n");
+  std::exit(2);
+}
+
+std::string requireValue(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usageError(std::string("missing value for ") + argv[i]);
+  return argv[++i];
+}
+
+double parseDouble(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usageError("invalid number '" + value + "' for " + flag);
+  }
+}
+
+int_t parseInt(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return static_cast<int_t>(v);
+  } catch (const std::exception&) {
+    usageError("invalid integer '" + value + "' for " + flag);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  registerBuiltinScenarios();
+  auto& registry = ScenarioRegistry::instance();
+
+  std::string scenarioName = "quickstart";
+  ScenarioOptions opts;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (arg == "-l" || arg == "--list-scenarios") {
+      list = true;
+    } else if (arg == "-s" || arg == "--scenario") {
+      scenarioName = requireValue(argc, argv, i);
+    } else if (arg == "--order") {
+      opts.order = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--scheme") {
+      try {
+        opts.scheme = parseScheme(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
+    } else if (arg == "--clusters") {
+      opts.numClusters = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--fused") {
+      opts.fusedWidth = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--end-time") {
+      opts.endTime = parseDouble(arg, requireValue(argc, argv, i));
+    } else if (arg == "--lambda") {
+      opts.lambda = parseDouble(arg, requireValue(argc, argv, i));
+    } else if (arg == "--scale") {
+      opts.meshScale = parseDouble(arg, requireValue(argc, argv, i));
+    } else if (arg == "--output") {
+      opts.outputPrefix = requireValue(argc, argv, i);
+    } else if (arg == "-q" || arg == "--quiet") {
+      opts.quiet = true;
+    } else {
+      usageError("unknown option '" + arg + "'");
+    }
+  }
+
+  if (list) {
+    std::printf("registered scenarios:\n");
+    for (const Scenario* s : registry.list())
+      std::printf("  %-12s %s\n", s->name().c_str(), s->description().c_str());
+    return 0;
+  }
+
+  const Scenario* scenario = registry.find(scenarioName);
+  if (!scenario) {
+    std::fprintf(stderr, "nglts: unknown scenario '%s'; registered:\n", scenarioName.c_str());
+    for (const auto& n : registry.names()) std::fprintf(stderr, "  %s\n", n.c_str());
+    return 2;
+  }
+
+  try {
+    const ScenarioReport report = scenario->run(opts);
+    std::printf("%s", report.summary.c_str());
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    usageError(e.what());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nglts: scenario '%s' failed: %s\n", scenarioName.c_str(), e.what());
+    return 1;
+  }
+}

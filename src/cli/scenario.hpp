@@ -1,0 +1,129 @@
+#pragma once
+// Unified scenario CLI (the `nglts` driver): every workload — the box
+// quickstart, the LOH.3 seismogram comparison, the La Habra-like production
+// pipeline, the fused ensemble — is a `Scenario` registered in a global
+// `ScenarioRegistry`. The driver binary resolves one registry entry from
+// `--scenario NAME`, applies flag overrides (`ScenarioOptions`) on top of
+// the scenario's defaults and runs it. New workloads are one registry entry
+// instead of a new main().
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "solver/simulation.hpp"
+
+namespace nglts::cli {
+
+/// Flag overrides applied on top of a scenario's built-in defaults. Every
+/// optional field that is left unset (`std::nullopt`) keeps the scenario
+/// default, so `ScenarioOptions{}` reproduces the canonical run of each
+/// scenario exactly.
+struct ScenarioOptions {
+  /// Convergence order O (polynomial degree O-1); valid range 1..7.
+  /// Paper symbol: O in the O(N) basis-size formulas of Sec. III.
+  std::optional<int_t> order;
+  /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
+  /// (Sec. V), or the buffer+derivative baseline of [15] (Tab. I).
+  std::optional<solver::TimeScheme> scheme;
+  /// Number of rate-2 LTS clusters N_c >= 1 (ignored under GTS).
+  /// Paper symbol: number of clusters in Figs. 4/5.
+  std::optional<int_t> numClusters;
+  /// Fused-simulation width W (Sec. IV-A): number of forward simulations
+  /// advanced in one solver execution. Valid: 1 or 2 for double-precision
+  /// scenarios, 1, 8 or 16 for single-precision ones (the instantiated
+  /// kernel widths).
+  std::optional<int_t> fusedWidth;
+  /// Simulated end time [s] (> 0). Scenarios run full LTS cycles until at
+  /// least this much physical time is covered.
+  std::optional<double> endTime;
+  /// Fixed cluster-growth control parameter lambda (>= 0); setting it
+  /// disables the scenario's automatic lambda sweep (Sec. V-A).
+  std::optional<double> lambda;
+  /// Mesh-resolution multiplier (> 0): 1 = the scenario's canonical mesh,
+  /// < 1 coarser (fast smoke runs), > 1 finer. Element count scales
+  /// roughly with meshScale^3.
+  double meshScale = 1.0;
+  /// Prefix for CSV artifacts (seismograms, ...); empty = write no files.
+  std::string outputPrefix;
+  /// Suppress per-scenario progress printing (the driver still prints the
+  /// final report summary).
+  bool quiet = false;
+};
+
+/// What a scenario hands back to the driver (and to tests): the solver
+/// configuration it resolved, the performance counters of its primary run,
+/// an optional reference seismogram trace, and a printable summary.
+struct ScenarioReport {
+  /// The `SimConfig` the primary simulation actually ran with (defaults
+  /// plus flag overrides) — tests validate this.
+  solver::SimConfig config;
+  /// Performance counters of the primary run (for LOH.3 this is the LTS
+  /// run, the GTS reference is reported in `summary`).
+  solver::PerfStats stats;
+  /// Uniformly resampled x-velocity of lane 0 at the scenario's first
+  /// receiver; empty for scenarios without receivers.
+  std::vector<double> trace;
+  /// Human-readable multi-line result summary (always printed).
+  std::string summary;
+};
+
+/// One registered workload. Implementations live in scenarios_builtin.cpp;
+/// they are refactored out of the former standalone example mains.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Unique registry key (what `--scenario` matches), e.g. "quickstart".
+  virtual std::string name() const = 0;
+  /// One-line description shown by `--list-scenarios`.
+  virtual std::string description() const = 0;
+
+  /// Resolve the `SimConfig` of the scenario's primary simulation under
+  /// `opts` without building a mesh or running anything. Must be cheap and
+  /// must throw `std::invalid_argument` on out-of-range overrides.
+  virtual solver::SimConfig resolveConfig(const ScenarioOptions& opts) const = 0;
+
+  /// Build the scenario (mesh, materials, sources, receivers), run it and
+  /// report. Throws `std::invalid_argument` on bad options and
+  /// `std::runtime_error` on setup failures (e.g. receiver outside mesh).
+  virtual ScenarioReport run(const ScenarioOptions& opts) const = 0;
+};
+
+/// Process-global scenario registry. Thread-compatible (registration happens
+/// once up front; lookups afterwards are const).
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario; throws `std::invalid_argument` on a duplicate name.
+  void add(std::unique_ptr<Scenario> scenario);
+
+  /// Look up by name; nullptr if absent.
+  const Scenario* find(const std::string& name) const;
+
+  /// All scenarios, sorted by name.
+  std::vector<const Scenario*> list() const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/// Register the built-in scenarios (quickstart, loh3, lahabra, fused) into
+/// the global registry. Idempotent — safe to call from multiple entry
+/// points (driver main, example wrappers, tests).
+void registerBuiltinScenarios();
+
+/// Parse a `--scheme` value: "gts", "lts" (next-generation clustered LTS)
+/// or "baseline" (buffer+derivative scheme of [15]).
+/// Throws `std::invalid_argument` on anything else.
+solver::TimeScheme parseScheme(const std::string& s);
+
+/// Inverse of `parseScheme` (for messages and summaries).
+std::string schemeName(solver::TimeScheme scheme);
+
+} // namespace nglts::cli

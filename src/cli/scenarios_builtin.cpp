@@ -1,0 +1,553 @@
+// Built-in scenarios of the `nglts` driver, refactored out of the former
+// standalone example mains. Each scenario owns its canonical defaults
+// (mesh, materials, sources, receivers) and applies `ScenarioOptions`
+// overrides on top; the examples/ binaries are now thin wrappers that run
+// these registry entries with default options.
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "cli/scenario.hpp"
+#include "mesh/box_gen.hpp"
+#include "parallel/dist_sim.hpp"
+#include "physics/attenuation.hpp"
+#include "pre/pipeline.hpp"
+#include "seismo/misfit.hpp"
+#include "seismo/receiver.hpp"
+#include "seismo/source.hpp"
+#include "seismo/velocity_model.hpp"
+
+namespace nglts::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void progressf(const ScenarioOptions& opts, const char* fmt, ...) {
+  if (opts.quiet) return;
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fputs(buf, stdout);
+  std::fflush(stdout);
+}
+
+/// Apply the generic SimConfig overrides (order, scheme, clusters, lambda)
+/// and range-check them, plus the options consumed elsewhere (endTime,
+/// meshScale); fusedWidth is checked per scenario by resolveWidth.
+void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts) {
+  if (opts.order) cfg.order = *opts.order;
+  if (opts.scheme) cfg.scheme = *opts.scheme;
+  if (opts.numClusters) cfg.numClusters = *opts.numClusters;
+  if (opts.lambda) {
+    cfg.lambda = *opts.lambda;
+    cfg.autoLambda = false;
+  }
+  if (cfg.order < 1 || cfg.order > 7)
+    throw std::invalid_argument("order must be in 1..7");
+  if (cfg.numClusters < 1)
+    throw std::invalid_argument("clusters must be >= 1");
+  if (cfg.lambda < 0.0)
+    throw std::invalid_argument("lambda must be >= 0");
+  if (opts.endTime && !(*opts.endTime > 0.0))
+    throw std::invalid_argument("end time must be > 0");
+  if (!(opts.meshScale > 0.0))
+    throw std::invalid_argument("mesh scale must be > 0");
+}
+
+int_t resolveWidth(const ScenarioOptions& opts, int_t fallback,
+                   std::initializer_list<int_t> valid, const char* scenario) {
+  const int_t w = opts.fusedWidth.value_or(fallback);
+  if (std::find(valid.begin(), valid.end(), w) == valid.end()) {
+    std::string msg = "scenario '";
+    msg += scenario;
+    msg += "' supports fused widths";
+    for (int_t v : valid) {
+      msg += ' ';
+      msg += std::to_string(v);
+    }
+    msg += ", got ";
+    msg += std::to_string(w);
+    throw std::invalid_argument(msg);
+  }
+  return w;
+}
+
+idx_t scaledCells(idx_t base, double meshScale) {
+  return std::max<idx_t>(2, static_cast<idx_t>(std::llround(base * meshScale)));
+}
+
+std::string perfLine(const solver::PerfStats& st) {
+  std::string s;
+  appendf(s, "%llu cycles (%.3f simulated s) in %.2f s wall — %.3g element updates/s, %.1f GFLOPS",
+          static_cast<unsigned long long>(st.cycles), st.simulatedTime, st.seconds,
+          st.elementUpdatesPerSecond(), st.gflops());
+  return s;
+}
+
+void writeTraceCsv(const std::string& path, const std::vector<double>& times,
+                   const std::vector<std::vector<double>>& columns,
+                   const std::string& header) {
+  std::ofstream csv(path);
+  csv << header << '\n';
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    csv << times[i];
+    for (const auto& col : columns) csv << ',' << col[i];
+    csv << '\n';
+  }
+  csv.flush();
+  if (!csv) throw std::runtime_error("failed to write " + path);
+}
+
+std::vector<double> uniformTimes(double tEnd, idx_t samples) {
+  std::vector<double> t(samples);
+  for (idx_t i = 0; i < samples; ++i) t[i] = tEnd * i / (samples - 1);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// quickstart — 1 km^3 two-layer box (the minimal end-to-end workflow)
+// ---------------------------------------------------------------------------
+
+class QuickstartScenario final : public Scenario {
+ public:
+  std::string name() const override { return "quickstart"; }
+  std::string description() const override {
+    return "1 km^3 two-layer viscoelastic box: next-gen LTS, one double-couple "
+           "source, one surface receiver";
+  }
+
+  solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.mechanisms = 3;
+    cfg.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.numClusters = 3;
+    cfg.autoLambda = true;
+    cfg.attenuationFreq = 2.0;
+    applyOverrides(cfg, opts);
+    resolveWidth(opts, 1, {1, 2}, "quickstart");
+    return cfg;
+  }
+
+  ScenarioReport run(const ScenarioOptions& opts) const override {
+    switch (resolveWidth(opts, 1, {1, 2}, "quickstart")) {
+      case 2: return runW<2>(opts);
+      default: return runW<1>(opts);
+    }
+  }
+
+ private:
+  template <int W>
+  ScenarioReport runW(const ScenarioOptions& opts) const {
+    const solver::SimConfig cfg = resolveConfig(opts);
+    const double tEnd = opts.endTime.value_or(2.0);
+
+    // A 1 km^3 box, ~100 m elements at scale 1, jittered, free surface on top.
+    mesh::BoxSpec spec;
+    const idx_t cells = scaledCells(10, opts.meshScale);
+    spec.planes[0] = mesh::uniformPlanes(0.0, 1000.0, cells);
+    spec.planes[1] = mesh::uniformPlanes(0.0, 1000.0, cells);
+    spec.planes[2] = mesh::uniformPlanes(-1000.0, 0.0, cells);
+    spec.jitter = 0.2;
+    spec.freeSurfaceTop = true;
+    mesh::TetMesh mesh = mesh::generateBox(spec);
+    progressf(opts, "mesh: %lld tetrahedra\n", static_cast<long long>(mesh.numElements()));
+
+    // A soft near-surface layer over stiffer rock (drives the clustering).
+    std::vector<physics::Material> materials(mesh.numElements());
+    for (idx_t e = 0; e < mesh.numElements(); ++e) {
+      const double vs = mesh.centroid(e)[2] > -250.0 ? 500.0 : 2000.0;
+      materials[e] = physics::viscoElasticMaterial(2600.0, vs * 1.9, vs, 100.0, 50.0,
+                                                   cfg.mechanisms, cfg.attenuationFreq);
+    }
+
+    solver::Simulation<double, W> sim(std::move(mesh), std::move(materials), cfg);
+    ScenarioReport report;
+    report.config = sim.config();
+    appendf(report.summary, "clusters:");
+    for (idx_t n : sim.clustering().clusterSize)
+      appendf(report.summary, " %lld", static_cast<long long>(n));
+    appendf(report.summary, "  (lambda %.2f, theoretical speedup %.2fx)\n",
+            sim.clustering().lambda, sim.clustering().theoreticalSpeedup);
+
+    // A double-couple point source and a surface receiver.
+    auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
+    sim.addPointSource(
+        seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+    const idx_t rec = sim.addReceiver({800.0, 750.0, -20.0});
+    if (rec < 0) throw std::runtime_error("quickstart receiver outside mesh");
+
+    report.stats = sim.run(tEnd);
+    appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
+
+    const idx_t samples = 101;
+    report.trace = seismo::resample(sim.receiver(rec).traces[0], kVelU, tEnd, samples);
+    double peak = 0.0;
+    for (double v : report.trace) peak = std::max(peak, std::fabs(v));
+    appendf(report.summary, "receiver vx peak: %.4e m/s over %.2f s\n", peak, tEnd);
+
+    if (!opts.outputPrefix.empty()) {
+      const std::string path = opts.outputPrefix + "quickstart_seismogram.csv";
+      writeTraceCsv(path, uniformTimes(tEnd, samples), {report.trace}, "time,vx");
+      appendf(report.summary, "wrote %s\n", path.c_str());
+    }
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// loh3 — layer over halfspace with constant-Q attenuation (paper Sec. VII-B)
+// ---------------------------------------------------------------------------
+
+class Loh3Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "loh3"; }
+  std::string description() const override {
+    return "LOH.3 layer-over-halfspace benchmark: GTS reference vs the "
+           "configured scheme, seismogram misfit E";
+  }
+
+  solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.mechanisms = 3;
+    cfg.attenuationFreq = 1.0;
+    cfg.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.numClusters = 3;
+    cfg.receiverSampleDt = 0.005;
+    applyOverrides(cfg, opts);
+    cfg.autoLambda = !opts.lambda && cfg.scheme != solver::TimeScheme::kGts;
+    resolveWidth(opts, 1, {1, 2}, "loh3");
+    return cfg;
+  }
+
+  ScenarioReport run(const ScenarioOptions& opts) const override {
+    switch (resolveWidth(opts, 1, {1, 2}, "loh3")) {
+      case 2: return runW<2>(opts);
+      default: return runW<1>(opts);
+    }
+  }
+
+ private:
+  mesh::TetMesh makeMesh(double meshScale) const {
+    // Scaled-down LOH.3: 6 km x 6 km x 3 km domain, velocity-aware vertical
+    // grading across the 1 km layer interface.
+    mesh::BoxSpec spec;
+    const idx_t lateral = scaledCells(14, meshScale);
+    spec.planes[0] = mesh::uniformPlanes(0.0, 6000.0, lateral);
+    spec.planes[1] = mesh::uniformPlanes(0.0, 6000.0, lateral);
+    spec.planes[2] = mesh::gradedPlanes(-3000.0, 0.0, [&](double z) {
+      return (z > -1000.0 ? 260.0 : 450.0) / meshScale;
+    });
+    spec.jitter = 0.2;
+    spec.freeSurfaceTop = true;
+    return mesh::generateBox(spec);
+  }
+
+  template <int W>
+  solver::Simulation<double, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
+    mesh::TetMesh mesh = makeMesh(meshScale);
+    const seismo::Loh3Model model(0.0);
+    auto materials = seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
+    return solver::Simulation<double, W>(std::move(mesh), std::move(materials), cfg);
+  }
+
+  template <int W>
+  static void addSetup(solver::Simulation<double, W>& sim) {
+    // LOH-style source: M_xy double couple at 2 km depth, Brune moment rate.
+    auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
+    sim.addPointSource(
+        seismo::momentTensorSource({3000.0, 3000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
+    // The benchmark's "ninth receiver" direction, scaled into the domain.
+    sim.addReceiver({4800.0, 4200.0, -20.0});
+    sim.addReceiver({3900.0, 3600.0, -20.0});
+  }
+
+  template <int W>
+  ScenarioReport runW(const ScenarioOptions& opts) const {
+    const solver::SimConfig cfg = resolveConfig(opts);
+    solver::SimConfig gtsCfg = cfg;
+    gtsCfg.scheme = solver::TimeScheme::kGts;
+    gtsCfg.autoLambda = false;
+    const double tEnd = opts.endTime.value_or(2.0);
+
+    auto gts = makeSim<W>(gtsCfg, opts.meshScale);
+    auto primary = makeSim<W>(cfg, opts.meshScale);
+    ScenarioReport report;
+    report.config = primary.config();
+    appendf(report.summary, "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
+            static_cast<long long>(primary.meshRef().numElements()),
+            schemeName(cfg.scheme).c_str(), primary.clustering().lambda,
+            primary.clustering().theoreticalSpeedup);
+    addSetup(gts);
+    addSetup(primary);
+
+    progressf(opts, "running GTS reference...\n");
+    const auto sg = gts.run(tEnd);
+    progressf(opts, "running %s...\n", schemeName(cfg.scheme).c_str());
+    report.stats = primary.run(tEnd);
+    appendf(report.summary, "GTS: %.2f s wall;  %s: %.2f s wall  => measured speedup %.2fx\n",
+            sg.seconds, schemeName(cfg.scheme).c_str(), report.stats.seconds,
+            sg.seconds / report.stats.seconds);
+
+    const idx_t samples = 400;
+    std::vector<std::vector<double>> columns;
+    for (idx_t r = 0; r < gts.numReceivers(); ++r) {
+      const auto a = seismo::resample(gts.receiver(r).traces[0], kVelU, tEnd, samples);
+      const auto b = seismo::resample(primary.receiver(r).traces[0], kVelU, tEnd, samples);
+      appendf(report.summary, "receiver %lld: misfit E (%s vs GTS) = %.3e, peak %.3e m/s\n",
+              static_cast<long long>(r), schemeName(cfg.scheme).c_str(),
+              seismo::energyMisfit(b, a), seismo::peakAmplitude(a));
+      if (r == 0) report.trace = b;
+      columns.push_back(a);
+      columns.push_back(b);
+    }
+    if (!opts.outputPrefix.empty()) {
+      const std::string path = opts.outputPrefix + "loh3_seismograms.csv";
+      std::string header = "time";
+      for (idx_t r = 0; r < gts.numReceivers(); ++r) {
+        appendf(header, ",r%lld_vx_gts,r%lld_vx_%s", static_cast<long long>(r),
+                static_cast<long long>(r), schemeName(cfg.scheme).c_str());
+      }
+      writeTraceCsv(path, uniformTimes(tEnd, samples), columns, header);
+      appendf(report.summary, "wrote %s\n", path.c_str());
+    }
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lahabra — production pipeline + distributed LTS run (paper Sec. VI)
+// ---------------------------------------------------------------------------
+
+class LaHabraScenario final : public Scenario {
+ public:
+  std::string name() const override { return "lahabra"; }
+  std::string description() const override {
+    return "La Habra-like basin through the full preprocessing pipeline, then "
+           "a distributed LTS run with face-local compression";
+  }
+
+  solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.mechanisms = 3;
+    cfg.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.numClusters = 5;
+    cfg.autoLambda = true;
+    applyOverrides(cfg, opts);
+    resolveWidth(opts, 1, {1}, "lahabra"); // DistributedSimulation is W = 1
+    if (cfg.scheme == solver::TimeScheme::kLtsBaseline)
+      throw std::invalid_argument("scenario 'lahabra' supports schemes gts | lts");
+    // GTS in the distributed driver is LTS with a single cluster.
+    if (cfg.scheme == solver::TimeScheme::kGts) cfg.numClusters = 1;
+    return cfg;
+  }
+
+  ScenarioReport run(const ScenarioOptions& opts) const override {
+    const solver::SimConfig cfg = resolveConfig(opts);
+
+    seismo::LaHabraLikeModel::Params params;
+    params.zTop = 0.0;
+    params.basinCenter = {8000.0, 8000.0};
+    params.vsMin = 250.0; // the paper's reduced cutoff
+    const seismo::LaHabraLikeModel model(params);
+
+    pre::PipelineConfig pcfg;
+    pcfg.lo = {0.0, 0.0, -6000.0};
+    pcfg.hi = {16000.0, 16000.0, 0.0};
+    pcfg.maxFrequency = 0.5 * opts.meshScale;
+    pcfg.elementsPerWavelength = 2.0;
+    pcfg.minEdge = 150.0 / opts.meshScale;
+    pcfg.order = cfg.order;
+    pcfg.mechanisms = cfg.mechanisms;
+    pcfg.cfl = cfg.cfl;
+    pcfg.numClusters = cfg.numClusters;
+    pcfg.autoLambda = cfg.autoLambda;
+    pcfg.lambda = cfg.lambda;
+    pcfg.numPartitions = 4;
+
+    progressf(opts, "running preprocessing pipeline...\n");
+    pre::PipelineResult pipe = pre::runPipeline(model, pcfg);
+    ScenarioReport report;
+    report.config = cfg;
+    report.config.lambda = pipe.clustering.lambda;
+    report.config.autoLambda = false;
+    report.summary += pipe.summary();
+    report.summary += '\n';
+
+    parallel::DistConfig dcfg;
+    dcfg.order = cfg.order;
+    dcfg.mechanisms = cfg.mechanisms;
+    dcfg.cfl = cfg.cfl;
+    dcfg.numClusters = cfg.numClusters;
+    dcfg.lambda = pipe.clustering.lambda;
+    dcfg.compressFaces = true;
+    dcfg.threaded = true;
+    parallel::DistributedSimulation<float, 1> sim(pipe.mesh, pipe.materials, pipe.parts.part,
+                                                  dcfg);
+    sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
+      for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
+      const double r2 = (x[0] - 8000.0) * (x[0] - 8000.0) +
+                        (x[1] - 8000.0) * (x[1] - 8000.0) +
+                        (x[2] + 3000.0) * (x[2] + 3000.0);
+      q9[kVelW] = std::exp(-r2 / 1.2e6);
+    });
+    progressf(opts, "running distributed simulation on %d ranks...\n", sim.ranks());
+    const double tEnd = opts.endTime.value_or(6.0 * sim.cycleDt());
+    const auto st = sim.run(tEnd);
+    report.stats.seconds = st.seconds;
+    report.stats.simulatedTime = st.simulatedTime;
+    report.stats.cycles = st.cycles;
+    report.stats.elementUpdates = st.elementUpdates;
+    appendf(report.summary,
+            "distributed run: %d ranks, %llu cycles, %.2f s wall, %.3g element updates/s\n",
+            sim.ranks(), static_cast<unsigned long long>(st.cycles), st.seconds,
+            static_cast<double>(st.elementUpdates) / st.seconds);
+    appendf(report.summary,
+            "communication: %.2f MB in %llu messages (face-local compression on)\n",
+            st.commBytes / 1e6, static_cast<unsigned long long>(st.messages));
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fused — ensemble of forward simulations in one execution (paper Sec. IV-A)
+// ---------------------------------------------------------------------------
+
+class FusedScenario final : public Scenario {
+ public:
+  std::string name() const override { return "fused"; }
+  std::string description() const override {
+    return "Fused ensemble: W differently-scaled sources advance in one "
+           "solver execution; verifies lane linearity";
+  }
+
+  solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.mechanisms = 3;
+    cfg.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.numClusters = 3;
+    cfg.sparseKernels = true;
+    cfg.attenuationFreq = 1.0;
+    applyOverrides(cfg, opts);
+    resolveWidth(opts, 16, {1, 8, 16}, "fused");
+    return cfg;
+  }
+
+  ScenarioReport run(const ScenarioOptions& opts) const override {
+    switch (resolveWidth(opts, 16, {1, 8, 16}, "fused")) {
+      case 1: return runW<1>(opts);
+      case 8: return runW<8>(opts);
+      default: return runW<16>(opts);
+    }
+  }
+
+ private:
+  template <int W>
+  solver::Simulation<float, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
+    mesh::BoxSpec spec;
+    const idx_t cells = scaledCells(8, meshScale);
+    spec.planes[0] = mesh::uniformPlanes(0.0, 2000.0, cells);
+    spec.planes[1] = mesh::uniformPlanes(0.0, 2000.0, cells);
+    spec.planes[2] = mesh::uniformPlanes(-2000.0, 0.0, cells);
+    spec.jitter = 0.18;
+    spec.freeSurfaceTop = true;
+    mesh::TetMesh mesh = mesh::generateBox(spec);
+    std::vector<physics::Material> mats(mesh.numElements());
+    for (idx_t e = 0; e < mesh.numElements(); ++e) {
+      const double vs = mesh.centroid(e)[2] > -500.0 ? 800.0 : 2400.0;
+      mats[e] = physics::viscoElasticMaterial(2600.0, vs * 1.8, vs, 100.0, 50.0,
+                                              cfg.mechanisms, cfg.attenuationFreq);
+    }
+    return solver::Simulation<float, W>(std::move(mesh), std::move(mats), cfg);
+  }
+
+  template <int W>
+  ScenarioReport runW(const ScenarioOptions& opts) const {
+    const solver::SimConfig cfg = resolveConfig(opts);
+    const double tEnd = opts.endTime.value_or(3.0);
+    auto sim = makeSim<W>(cfg, opts.meshScale);
+
+    // Ensemble of sources: one per lane, scaled 1..W.
+    std::vector<double> scales(W);
+    for (int w = 0; w < W; ++w) scales[w] = 1.0 + w;
+    auto stf = std::make_shared<seismo::RickerWavelet>(1.0, 1.2, 1e9);
+    sim.addPointSource(
+        seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1, 0, 0}, stf), scales);
+    const idx_t rec = sim.addReceiver({1600.0, 1500.0, -30.0});
+    if (rec < 0) throw std::runtime_error("fused receiver outside mesh");
+
+    progressf(opts, "running fused x%d ensemble...\n", W);
+    ScenarioReport report;
+    report.config = sim.config();
+    report.stats = sim.run(tEnd);
+    appendf(report.summary, "fused x%d run: %s\n", W, perfLine(report.stats).c_str());
+
+    // Verify lane linearity against lane 0.
+    const idx_t samples = 300;
+    report.trace = seismo::resample(sim.receiver(rec).traces[0], kVelU, tEnd, samples);
+    double worstMisfit = 0.0;
+    for (int w = 1; w < W; ++w) {
+      auto lane = seismo::resample(sim.receiver(rec).traces[w], kVelU, tEnd, samples);
+      std::vector<double> expect(report.trace.size());
+      for (std::size_t i = 0; i < expect.size(); ++i) expect[i] = scales[w] * report.trace[i];
+      worstMisfit = std::max(worstMisfit, seismo::energyMisfit(lane, expect));
+    }
+    if (W > 1)
+      appendf(report.summary, "worst lane-linearity misfit: %.3e (must be ~fp32 round-off)\n",
+              worstMisfit);
+
+    // Compare against a single-simulation run for the per-simulation speedup.
+    if (W > 1) {
+      solver::SimConfig singleCfg = cfg;
+      singleCfg.sparseKernels = false;
+      auto single = makeSim<1>(singleCfg, opts.meshScale);
+      single.addPointSource(
+          seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+      progressf(opts, "running single-simulation reference...\n");
+      const auto stSingle = single.run(tEnd);
+      appendf(report.summary,
+              "single run: %.2f s wall => fused per-simulation speedup %.2fx (paper: ~1.8-2.1x)\n",
+              stSingle.seconds,
+              W * stSingle.seconds / report.stats.seconds /
+                  (stSingle.simulatedTime / report.stats.simulatedTime));
+    }
+    return report;
+  }
+};
+
+} // namespace
+
+void registerBuiltinScenarios() {
+  static const bool registered = [] {
+    auto& reg = ScenarioRegistry::instance();
+    reg.add(std::make_unique<QuickstartScenario>());
+    reg.add(std::make_unique<Loh3Scenario>());
+    reg.add(std::make_unique<LaHabraScenario>());
+    reg.add(std::make_unique<FusedScenario>());
+    return true;
+  }();
+  (void)registered;
+}
+
+} // namespace nglts::cli

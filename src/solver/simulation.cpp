@@ -14,6 +14,20 @@ template <typename Real, int W>
 Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials,
                                 SimConfig config)
     : cfg_(config), mesh_(std::move(mesh)), materials_(std::move(materials)) {
+  if (cfg_.order < 1 || cfg_.order > 7)
+    throw std::invalid_argument("SimConfig: order must be in 1..7");
+  if (cfg_.mechanisms < 0)
+    throw std::invalid_argument("SimConfig: mechanisms must be >= 0");
+  if (!(cfg_.cfl > 0.0) || cfg_.cfl > 1.0)
+    throw std::invalid_argument("SimConfig: cfl must be in (0, 1]");
+  if (cfg_.numClusters < 1)
+    throw std::invalid_argument("SimConfig: numClusters must be >= 1");
+  if (cfg_.lambda < 0.0)
+    throw std::invalid_argument("SimConfig: lambda must be >= 0");
+  if (cfg_.mechanisms > 0 && !(cfg_.attenuationFreq > 0.0))
+    throw std::invalid_argument("SimConfig: attenuationFreq must be > 0 for anelastic runs");
+  if (cfg_.receiverSampleDt < 0.0)
+    throw std::invalid_argument("SimConfig: receiverSampleDt must be >= 0");
   if (mesh_.faces.empty()) throw std::runtime_error("Simulation: mesh connectivity not built");
   if (static_cast<idx_t>(materials_.size()) != mesh_.numElements())
     throw std::runtime_error("Simulation: one material per element required");

@@ -33,19 +33,46 @@ enum class TimeScheme : int_t {
   kLtsBaseline   ///< buffer+derivative scheme of [15]
 };
 
+/// Solver configuration shared by all time-stepping schemes. Every field
+/// has a validated range; `Simulation`'s constructor throws
+/// `std::invalid_argument` on violations.
 struct SimConfig {
+  /// Convergence order O of the ADER-DG discretization (polynomial degree
+  /// O-1, B = O(O+1)(O+2)/6 modal basis functions). Valid: 1..7; the
+  /// paper's experiments use O = 4..6 (Sec. III, Tab. I).
   int_t order = 4;
-  int_t mechanisms = 0;      ///< 0 = elastic, 3 = the paper's standard setting
+  /// Number of anelastic relaxation mechanisms m per element; the PDE has
+  /// N_q = 9 + 6m quantities. Valid: >= 0; 0 = purely elastic,
+  /// 3 = the paper's standard viscoelastic setting (Sec. II).
+  int_t mechanisms = 0;
+  /// CFL safety factor c in dt = c * dt_CFL(element). Valid: (0, 1];
+  /// 0.5 reproduces the paper's setting.
   double cfl = 0.5;
-  bool sparseKernels = false; ///< CSR kernels for the global matrices
+  /// Use fully sparse CSR kernels for the global (stiffness/flux) matrices
+  /// instead of dense block-trimmed ones. Profitable for fused simulations
+  /// (W > 1), where the ensemble dimension vectorizes perfectly (Sec. IV).
+  bool sparseKernels = false;
+  /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
+  /// (Sec. V), or the buffer+derivative baseline of [15].
   TimeScheme scheme = TimeScheme::kGts;
-  int_t numClusters = 3;     ///< ignored for GTS
+  /// Number of rate-2 LTS clusters N_c (cluster c steps at 2^c * dt_min).
+  /// Valid: >= 1; ignored for GTS (which behaves as N_c = 1). The paper
+  /// uses 3 for LOH.3 (Fig. 4) and 5 for La Habra (Fig. 5).
+  int_t numClusters = 3;
+  /// Cluster-growth control parameter lambda of the clustering criterion
+  /// (Sec. V-A): elements with dt < (1 + lambda) * 2^c * dt_min may stay
+  /// in cluster c. Valid: >= 0; ignored when `autoLambda` is set.
   double lambda = 1.0;
-  bool autoLambda = false;   ///< run the lambda sweep of Sec. V-A
-  double attenuationFreq = 1.0; ///< central frequency of the Q band [Hz]
-  /// Receiver sampling interval; receivers are sampled on this uniform grid
-  /// by evaluating the ADER predictor's Taylor expansion inside each
-  /// element-local step (0 = use the global minimum CFL step).
+  /// Sweep lambda over a grid and keep the value maximizing the
+  /// theoretical speedup (the paper's auto-tuning of Sec. V-A).
+  bool autoLambda = false;
+  /// Central frequency [Hz] of the constant-Q fit band for the anelastic
+  /// relaxation mechanisms (Sec. II). Valid: > 0 when mechanisms > 0.
+  double attenuationFreq = 1.0;
+  /// Receiver sampling interval [s]; receivers are sampled on this uniform
+  /// grid by evaluating the ADER predictor's Taylor expansion inside each
+  /// element-local step. Valid: >= 0; 0 = sample at the receiver element's
+  /// own local time levels.
   double receiverSampleDt = 0.0;
 };
 

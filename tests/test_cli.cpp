@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/scenario.hpp"
+
+namespace nc = nglts::cli;
+using nglts::solver::TimeScheme;
+
+namespace {
+
+nc::ScenarioRegistry& registry() {
+  nc::registerBuiltinScenarios();
+  return nc::ScenarioRegistry::instance();
+}
+
+} // namespace
+
+TEST(ScenarioRegistry, ListsAllBuiltinScenarios) {
+  const auto names = registry().names();
+  const std::vector<std::string> expected = {"fused", "lahabra", "loh3", "quickstart"};
+  EXPECT_EQ(names, expected);
+  for (const auto& n : names) {
+    const nc::Scenario* s = registry().find(n);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), n);
+    EXPECT_FALSE(s->description().empty());
+  }
+}
+
+TEST(ScenarioRegistry, RegistrationIsIdempotent) {
+  const auto before = registry().names();
+  nc::registerBuiltinScenarios();
+  EXPECT_EQ(registry().names(), before);
+}
+
+TEST(ScenarioRegistry, FindUnknownReturnsNull) {
+  EXPECT_EQ(registry().find("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  class Dup final : public nc::Scenario {
+   public:
+    std::string name() const override { return "quickstart"; }
+    std::string description() const override { return "dup"; }
+    nglts::solver::SimConfig resolveConfig(const nc::ScenarioOptions&) const override {
+      return {};
+    }
+    nc::ScenarioReport run(const nc::ScenarioOptions&) const override { return {}; }
+  };
+  EXPECT_THROW(registry().add(std::make_unique<Dup>()), std::invalid_argument);
+}
+
+TEST(Scenarios, EachConfiguresValidSimConfig) {
+  for (const nc::Scenario* s : registry().list()) {
+    const nglts::solver::SimConfig cfg = s->resolveConfig({});
+    EXPECT_GE(cfg.order, 1) << s->name();
+    EXPECT_LE(cfg.order, 7) << s->name();
+    EXPECT_GE(cfg.mechanisms, 0) << s->name();
+    EXPECT_GT(cfg.cfl, 0.0) << s->name();
+    EXPECT_GE(cfg.numClusters, 1) << s->name();
+    EXPECT_GE(cfg.lambda, 0.0) << s->name();
+    EXPECT_GT(cfg.attenuationFreq, 0.0) << s->name();
+  }
+}
+
+TEST(Scenarios, FlagOverridesApply) {
+  const nc::Scenario* s = registry().find("quickstart");
+  ASSERT_NE(s, nullptr);
+  nc::ScenarioOptions opts;
+  opts.order = 3;
+  opts.scheme = TimeScheme::kGts;
+  opts.numClusters = 5;
+  opts.lambda = 0.7;
+  const auto cfg = s->resolveConfig(opts);
+  EXPECT_EQ(cfg.order, 3);
+  EXPECT_EQ(cfg.scheme, TimeScheme::kGts);
+  EXPECT_EQ(cfg.numClusters, 5);
+  EXPECT_DOUBLE_EQ(cfg.lambda, 0.7);
+  EXPECT_FALSE(cfg.autoLambda);
+}
+
+TEST(Scenarios, OutOfRangeOverridesThrow) {
+  const nc::Scenario* s = registry().find("quickstart");
+  ASSERT_NE(s, nullptr);
+  nc::ScenarioOptions bad;
+  bad.order = 0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  bad = {};
+  bad.numClusters = 0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  bad = {};
+  bad.lambda = -1.0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  bad = {};
+  bad.meshScale = 0.0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  bad = {};
+  bad.fusedWidth = 5;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  EXPECT_THROW(s->run(bad), std::invalid_argument);
+  bad = {};
+  bad.endTime = std::nan("");
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+}
+
+TEST(Scenarios, ParseSchemeRoundTrips) {
+  EXPECT_EQ(nc::parseScheme("gts"), TimeScheme::kGts);
+  EXPECT_EQ(nc::parseScheme("lts"), TimeScheme::kLtsNextGen);
+  EXPECT_EQ(nc::parseScheme("baseline"), TimeScheme::kLtsBaseline);
+  EXPECT_THROW(nc::parseScheme("warp"), std::invalid_argument);
+  for (auto scheme : {TimeScheme::kGts, TimeScheme::kLtsNextGen, TimeScheme::kLtsBaseline})
+    EXPECT_EQ(nc::parseScheme(nc::schemeName(scheme)), scheme);
+}
+
+TEST(Scenarios, QuickstartRunsAndProducesFiniteSeismogram) {
+  const nc::Scenario* s = registry().find("quickstart");
+  ASSERT_NE(s, nullptr);
+  // Coarse mesh + short end time: a few LTS cycles, seconds of runtime.
+  nc::ScenarioOptions opts;
+  opts.meshScale = 0.4;
+  opts.order = 3;
+  opts.endTime = 0.3;
+  opts.quiet = true;
+  const nc::ScenarioReport report = s->run(opts);
+  EXPECT_EQ(report.config.order, 3);
+  EXPECT_GT(report.stats.cycles, 0u);
+  EXPECT_GE(report.stats.simulatedTime, 0.3);
+  EXPECT_GT(report.stats.elementUpdates, 0u);
+  ASSERT_FALSE(report.trace.empty());
+  for (double v : report.trace) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(report.summary.empty());
+}
