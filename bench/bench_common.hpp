@@ -3,9 +3,11 @@
 // so the full bench suite runs in minutes on a workstation; set
 // NGLTS_BENCH_SCALE=2 (or higher) in the environment for larger runs.
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mesh/box_gen.hpp"
@@ -19,6 +21,73 @@ inline double benchScale() {
   const char* s = std::getenv("NGLTS_BENCH_SCALE");
   return s ? std::atof(s) : 1.0;
 }
+
+/// Machine-readable bench artifact (BENCH_*.json): a flat object of run
+/// metadata plus a "rows" array of per-configuration measurements. The
+/// perf-trajectory tooling (bench/run_benches.sh) diffs these files across
+/// commits, so keys should stay stable.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) { top_.emplace_back(key, number(value)); }
+  void set(const std::string& key, const std::string& value) {
+    top_.emplace_back(key, quote(value));
+  }
+
+  void beginRow() { rows_.emplace_back(); }
+  void rowSet(const std::string& key, double value) {
+    if (rows_.empty()) beginRow();
+    rows_.back().emplace_back(key, number(value));
+  }
+  void rowSet(const std::string& key, const std::string& value) {
+    if (rows_.empty()) beginRow();
+    rows_.back().emplace_back(key, quote(value));
+  }
+
+  std::string str() const {
+    std::string out = "{\n";
+    for (const auto& [k, v] : top_) out += "  " + quote(k) + ": " + v + ",\n";
+    out += "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {";
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        if (j) out += ", ";
+        out += quote(rows_[i][j].first) + ": " + rows_[i][j].second;
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string s = str();
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> top_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// LOH.3 domain of the paper scaled down: a slow layer over a fast halfspace
 /// with velocity-aware vertical grading (finer planes in the layer) and

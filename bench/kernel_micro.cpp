@@ -6,7 +6,10 @@
 // zeros at O = 5 with three mechanisms.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "kernels/ader_kernels.hpp"
 #include "kernels/kernel_setup.hpp"
@@ -114,4 +117,28 @@ BENCHMARK(neighborUpdate<1>)->ArgsProduct({{3, 4, 5}, {0, 1}})->ArgNames({"order
 BENCHMARK(neighborUpdate<16>)->ArgsProduct({{4}, {1}})->ArgNames({"order", "sparse"});
 BENCHMARK(compress)->Arg(4)->Arg(5)->ArgName("order");
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a default JSON artifact: unless the caller passes its
+// own --benchmark_out, results also land in BENCH_kernel.json (the
+// machine-readable perf trajectory consumed by bench/run_benches.sh).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool hasOut = false, hasFmt = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--benchmark_out=", 0) == 0) hasOut = true;
+    if (a.rfind("--benchmark_out_format", 0) == 0) hasFmt = true;
+  }
+  static std::string outFlag = "--benchmark_out=BENCH_kernel.json";
+  static std::string fmtFlag = "--benchmark_out_format=json";
+  if (!hasOut) {
+    args.push_back(outFlag.data());
+    if (!hasFmt) args.push_back(fmtFlag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!hasOut) std::printf("wrote BENCH_kernel.json\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the perf-trajectory benches and collect their machine-readable
+# artifacts (BENCH_*.json) in one output directory.
+#
+# usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing the bench binaries (default: build)
+#   OUT_DIR    where the BENCH_*.json / *.csv artifacts land (default: bench-out)
+#
+# environment:
+#   NGLTS_BENCH_SCALE   mesh/time scale multiplier (default 1.0); >= 1 for
+#                       meaningful numbers, < 1 for smoke runs.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench-out}
+
+if [[ ! -x "$BUILD_DIR/tab1_performance" ]]; then
+  echo "run_benches.sh: $BUILD_DIR/tab1_performance not found — build with -DNGLTS_BUILD_BENCHES=ON" >&2
+  exit 1
+fi
+
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
+mkdir -p "$OUT_DIR"
+cd "$OUT_DIR"
+
+echo "== tab1_performance (Tab. I throughput + cluster-reorder A/B) =="
+"$BUILD_DIR/tab1_performance"
+
+if [[ -x "$BUILD_DIR/kernel_micro" ]]; then
+  echo "== kernel_micro (Sec. IV per-kernel throughput) =="
+  # Writes BENCH_kernel.json by default (see the custom main in kernel_micro.cpp).
+  "$BUILD_DIR/kernel_micro"
+else
+  echo "== kernel_micro skipped (Google Benchmark not available at configure time) =="
+fi
+
+echo
+echo "artifacts in $(pwd):"
+ls -l BENCH_*.json *.csv 2>/dev/null || true

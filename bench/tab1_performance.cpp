@@ -23,7 +23,7 @@ struct RowResult {
 
 template <int W>
 RowResult runCase(solver::TimeScheme scheme, double lambda, bool sparse, double scale,
-                  double tEnd) {
+                  double tEnd, bool reorder = true) {
   bench::Loh3Scenario sc(scale);
   solver::SimConfig cfg;
   cfg.order = 4;
@@ -35,6 +35,7 @@ RowResult runCase(solver::TimeScheme scheme, double lambda, bool sparse, double 
   cfg.autoLambda = lambda < 0; // negative lambda encodes "use the Sec. V-A sweep"
   if (cfg.autoLambda) cfg.lambda = 1.0;
   cfg.sparseKernels = sparse;
+  cfg.clusterReorder = reorder;
   solver::Simulation<float, W> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
   sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
     for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
@@ -94,27 +95,56 @@ int main() {
 
   Table table({"configuration", "1-sim GFLOPS", "1-sim speedup", "16-fused GFLOPS",
                "16-fused speedup/sim"});
+  bench::JsonReport json;
+  json.set("bench", "tab1_performance");
+  json.set("scale", scale);
+  json.set("t_end", tEnd);
   double gtsCost1 = 0.0;
   std::vector<std::array<double, 2>> costs;
   std::vector<std::array<double, 2>> gflops;
+  RowResult ltsPacked; // "EDGE LTS (1.0)" 1-sim run, reused for the reorder A/B
   for (const Row& r : rows) {
     const double c1 = timeToSolution<1>(r.scheme, r.lambda, false, scale, tEnd);
     const double c16 = timeToSolution<16>(r.scheme, r.lambda, true, scale, tEnd);
     const auto p1 = runCase<1>(r.scheme, r.lambda, false, scale, tEnd);
     const auto p16 = runCase<16>(r.scheme, r.lambda, true, scale, tEnd);
     if (gtsCost1 == 0.0) gtsCost1 = c1;
+    if (r.scheme == solver::TimeScheme::kLtsNextGen && r.lambda == 1.0) ltsPacked = p1;
     costs.push_back({c1, c16});
     gflops.push_back({p1.gflops, p16.gflops});
     table.addRow({r.name, formatNumber(p1.gflops, "%.1f"), formatNumber(gtsCost1 / c1, "%.2f"),
                   formatNumber(p16.gflops, "%.1f"), formatNumber(gtsCost1 / c16, "%.2f")});
+    json.beginRow();
+    json.rowSet("configuration", r.name);
+    json.rowSet("gflops_1sim", p1.gflops);
+    json.rowSet("updates_per_sec_1sim", p1.updatesPerSec);
+    json.rowSet("speedup_1sim", gtsCost1 / c1);
+    json.rowSet("gflops_16fused", p16.gflops);
+    json.rowSet("updates_per_sec_16fused", p16.updatesPerSec);
+    json.rowSet("speedup_per_sim_16fused", gtsCost1 / c16);
   }
   std::printf("%s\n", table.str().c_str());
   table.writeCsv("tab1_performance.csv");
+
+  // A/B of the cluster-contiguous arena layout (Sec. VI): the same LTS run
+  // through the contiguous cluster ranges (the "EDGE LTS (1.0)" row above)
+  // vs the legacy index-list gather.
+  const auto& packed = ltsPacked;
+  const auto lists = runCase<1>(solver::TimeScheme::kLtsNextGen, 1.0, false, scale, tEnd, false);
+  std::printf("LTS element updates/s: reordered %.3g, index lists %.3g (%.2fx)\n",
+              packed.updatesPerSec, lists.updatesPerSec,
+              packed.updatesPerSec / lists.updatesPerSec);
+  json.beginRow();
+  json.rowSet("configuration", "EDGE LTS (1.0) cluster-reorder A/B");
+  json.rowSet("updates_per_sec_reordered", packed.updatesPerSec);
+  json.rowSet("updates_per_sec_index_lists", lists.updatesPerSec);
+  json.rowSet("reorder_speedup", packed.updatesPerSec / lists.updatesPerSec);
 
   std::printf("paper Tab. I speedups over single-sim GTS:\n");
   std::printf("  EDGE: GTS 1.00/1.80, LTS(1.0) 2.14/3.91, LTS(0.8) 2.51/4.51\n");
   std::printf("  SeisSol(GTS/LTS single): 0.92 / 1.70\n");
   std::printf("measured next-gen over baseline (single, lambda 1.0): %.2fx (paper: >1.26x)\n",
               costs[3][0] / costs[1][0]);
+  json.write("BENCH_tab1.json");
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace nglts {
@@ -38,5 +40,34 @@ struct AlignedAllocator {
 
 template <typename T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Aligned allocator whose value-construction is a no-op for trivial types:
+/// `resize` leaves the pages untouched so the owner can perform NUMA
+/// first-touch initialization on its own parallel iteration order (the
+/// solver's DOF/buffer arenas). Explicit-value construction still works.
+template <typename T>
+struct FirstTouchAllocator : AlignedAllocator<T> {
+  using value_type = T;
+
+  FirstTouchAllocator() noexcept = default;
+  template <typename U>
+  FirstTouchAllocator(const FirstTouchAllocator<U>&) noexcept {}
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) > 0)
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    else if constexpr (!std::is_trivially_default_constructible_v<U>)
+      ::new (static_cast<void*>(p)) U();
+  }
+
+  template <typename U>
+  bool operator==(const FirstTouchAllocator<U>&) const noexcept { return true; }
+};
+
+/// Arena storage: aligned, and uninitialized after `resize` (see
+/// `FirstTouchAllocator`). Never read before the owner's first-touch pass.
+template <typename T>
+using arena_vector = std::vector<T, FirstTouchAllocator<T>>;
 
 } // namespace nglts

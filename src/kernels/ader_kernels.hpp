@@ -68,6 +68,15 @@ class AderKernels {
 
   Scratch makeScratch() const;
 
+  /// Per-thread scratch pool; ownership lives with the step executor
+  /// (solver/executor.hpp), one entry per OpenMP thread.
+  std::vector<Scratch> makeScratchPool(int_t nThreads) const {
+    std::vector<Scratch> pool;
+    pool.reserve(nThreads);
+    for (int_t t = 0; t < nThreads; ++t) pool.push_back(makeScratch());
+    return pool;
+  }
+
   // -- time kernel ----------------------------------------------------------
 
   /// Cauchy-Kowalevski predictor about the current DOFs `q` over [t, t+dt].

@@ -22,6 +22,20 @@ struct Reordering {
 Reordering buildReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& part,
                            const std::vector<int_t>& cluster);
 
+/// The solver-arena ordering: every time cluster becomes one contiguous
+/// index range, and inside each cluster elements are renumbered by a BFS
+/// over the intra-cluster dual graph so face-neighbors land close in memory
+/// (the neighbor phase then reads mostly nearby buffer slices).
+/// `packNeighbors = false` keeps the stable by-cluster sort only.
+Reordering buildClusterReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& cluster,
+                                  bool packNeighbors = true);
+
+/// First internal index of each cluster under a cluster-contiguous
+/// reordering: `numClusters + 1` offsets, range of cluster c is
+/// [offsets[c], offsets[c+1]). Throws std::runtime_error if `cluster`
+/// (given in the *new* order, i.e. already permuted) is not contiguous.
+std::vector<idx_t> clusterRanges(const std::vector<int_t>& clusterNewOrder, int_t numClusters);
+
 /// Apply a reordering: permutes elements and remaps the face adjacency.
 /// Per-element attributes must be permuted by the caller via `oldId`.
 mesh::TetMesh applyReordering(const mesh::TetMesh& mesh, const Reordering& r);

@@ -1,0 +1,99 @@
+#pragma once
+// Solver configuration shared by the three layers of the solver core:
+// the SolverState memory arena (state.hpp), the StepExecutor (executor.hpp)
+// and the Simulation facade (simulation.hpp).
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace nglts::solver {
+
+enum class TimeScheme : int_t {
+  kGts = 0,      ///< one cluster, everything at dt_min
+  kLtsNextGen,   ///< three-buffer scheme (this paper)
+  kLtsBaseline   ///< buffer+derivative scheme of [15]
+};
+
+/// Solver configuration shared by all time-stepping schemes. Every field
+/// has a validated range; `Simulation`'s constructor throws
+/// `std::invalid_argument` on violations.
+struct SimConfig {
+  /// Convergence order O of the ADER-DG discretization (polynomial degree
+  /// O-1, B = O(O+1)(O+2)/6 modal basis functions). Valid: 1..7; the
+  /// paper's experiments use O = 4..6 (Sec. III, Tab. I).
+  int_t order = 4;
+  /// Number of anelastic relaxation mechanisms m per element; the PDE has
+  /// N_q = 9 + 6m quantities. Valid: >= 0; 0 = purely elastic,
+  /// 3 = the paper's standard viscoelastic setting (Sec. II).
+  int_t mechanisms = 0;
+  /// CFL safety factor c in dt = c * dt_CFL(element). Valid: (0, 1];
+  /// 0.5 reproduces the paper's setting.
+  double cfl = 0.5;
+  /// Use fully sparse CSR kernels for the global (stiffness/flux) matrices
+  /// instead of dense block-trimmed ones. Profitable for fused simulations
+  /// (W > 1), where the ensemble dimension vectorizes perfectly (Sec. IV).
+  bool sparseKernels = false;
+  /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
+  /// (Sec. V), or the buffer+derivative baseline of [15].
+  TimeScheme scheme = TimeScheme::kGts;
+  /// Number of rate-2 LTS clusters N_c (cluster c steps at 2^c * dt_min).
+  /// Valid: >= 1; ignored for GTS (which behaves as N_c = 1). The paper
+  /// uses 3 for LOH.3 (Fig. 4) and 5 for La Habra (Fig. 5).
+  int_t numClusters = 3;
+  /// Cluster-growth control parameter lambda of the clustering criterion
+  /// (Sec. V-A): elements with dt < (1 + lambda) * 2^c * dt_min may stay
+  /// in cluster c. Valid: >= 0; ignored when `autoLambda` is set.
+  double lambda = 1.0;
+  /// Sweep lambda over a grid and keep the value maximizing the
+  /// theoretical speedup (the paper's auto-tuning of Sec. V-A).
+  bool autoLambda = false;
+  /// Central frequency [Hz] of the constant-Q fit band for the anelastic
+  /// relaxation mechanisms (Sec. II). Valid: > 0 when mechanisms > 0.
+  double attenuationFreq = 1.0;
+  /// Receiver sampling interval [s]; receivers are sampled on this uniform
+  /// grid by evaluating the ADER predictor's Taylor expansion inside each
+  /// element-local step. Valid: >= 0; 0 = sample at the receiver element's
+  /// own local time levels.
+  double receiverSampleDt = 0.0;
+  /// Permute elements into the cluster-contiguous, neighbor-packed internal
+  /// arena order (Sec. VI): every time cluster becomes one contiguous index
+  /// range and the hot loops stream linearly through memory. External
+  /// element ids (`dofs()`, `sample()`, receivers) are unaffected. Off
+  /// keeps the original mesh order — for A/B layout comparisons and tests.
+  bool clusterReorder = true;
+};
+
+/// Validate the pure-config ranges above; throws `std::invalid_argument`
+/// naming the violated field. Mesh/material consistency is checked
+/// separately by the `Simulation` constructor.
+inline void validateSimConfig(const SimConfig& cfg) {
+  if (cfg.order < 1 || cfg.order > 7)
+    throw std::invalid_argument("SimConfig: order must be in 1..7");
+  if (cfg.mechanisms < 0)
+    throw std::invalid_argument("SimConfig: mechanisms must be >= 0");
+  if (!(cfg.cfl > 0.0) || cfg.cfl > 1.0)
+    throw std::invalid_argument("SimConfig: cfl must be in (0, 1]");
+  if (cfg.numClusters < 1)
+    throw std::invalid_argument("SimConfig: numClusters must be >= 1");
+  if (cfg.lambda < 0.0)
+    throw std::invalid_argument("SimConfig: lambda must be >= 0");
+  if (cfg.mechanisms > 0 && !(cfg.attenuationFreq > 0.0))
+    throw std::invalid_argument("SimConfig: attenuationFreq must be > 0 for anelastic runs");
+  if (cfg.receiverSampleDt < 0.0)
+    throw std::invalid_argument("SimConfig: receiverSampleDt must be >= 0");
+}
+
+struct PerfStats {
+  double seconds = 0.0;
+  double simulatedTime = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t elementUpdates = 0; ///< per fused lane
+  std::uint64_t flops = 0;          ///< useful floating point ops (all lanes)
+  double elementUpdatesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(elementUpdates) / seconds : 0.0;
+  }
+  double gflops() const { return seconds > 0 ? flops / seconds * 1e-9 : 0.0; }
+};
+
+} // namespace nglts::solver

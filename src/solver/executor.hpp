@@ -1,0 +1,116 @@
+#pragma once
+// Layer 2 of the solver core: schedule execution. `StepExecutor` runs the
+// flattened rate-2 LTS op sequence (lts::ScheduleOp, paper Sec. V-B) over
+// the cluster-contiguous element ranges of a `SolverState`, with one OpenMP
+// parallel loop per (phase, cluster) op. The three neighbor-data paradigms
+// — GTS direct-B1, the paper's next-generation three-buffer scheme, and the
+// buffer+derivative baseline of [15] — are strategy classes behind the
+// `NeighborDataPolicy` interface instead of `if (scheme)` branches in the
+// hot loop.
+//
+// The executor owns the per-thread kernel scratch pool and the per-thread
+// receiver derivative stacks; sources and receivers themselves stay in the
+// Simulation facade, which participates through the `LocalHook` extension
+// point (called after the kernel local phase of each element).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "kernels/ader_kernels.hpp"
+#include "lts/clustering.hpp"
+#include "lts/schedule.hpp"
+#include "solver/config.hpp"
+#include "solver/state.hpp"
+
+namespace nglts::solver {
+
+/// Strategy interface: where the neighbor phase of an element reads the
+/// neighbor's time-integrated elastic data from (paper Sec. V-B). Internal
+/// element ids throughout.
+template <typename Real, int W>
+class NeighborDataPolicy {
+ public:
+  using Scratch = typename kernels::AderKernels<Real, W>::Scratch;
+
+  virtual ~NeighborDataPolicy() = default;
+
+  /// Data (9 x nb x W) consumed by face `fi` of element `el` at sub-step
+  /// `myStep` of its cluster; may stage a combination into `s.bufCombo`.
+  virtual const Real* data(idx_t el, const mesh::FaceInfo& fi, idx_t myStep, Scratch& s,
+                           std::uint64_t& flops) const = 0;
+
+  /// Whether the local phase must persist the full ADER derivative stack of
+  /// every element (the baseline scheme's neighbor-data representation).
+  virtual bool needsDerivStack() const { return false; }
+};
+
+/// Build the policy matching `cfg.scheme` over a state's buffers.
+template <typename Real, int W>
+std::unique_ptr<NeighborDataPolicy<Real, W>> makeNeighborDataPolicy(
+    const SimConfig& cfg, const SolverState<Real, W>& state,
+    const kernels::AderKernels<Real, W>& kernels, const std::vector<double>& clusterDt);
+
+template <typename Real, int W>
+class StepExecutor {
+ public:
+  using Scratch = typename kernels::AderKernels<Real, W>::Scratch;
+
+  /// Facade extension point, invoked inside the local-phase element loop
+  /// after the kernels ran (source injection, receiver sampling). Internal
+  /// element ids; implementations must be thread-safe across elements.
+  class LocalHook {
+   public:
+    virtual ~LocalHook() = default;
+    /// Whether `internalEl` needs the predictor's derivative stack kept
+    /// (receiver elements); ignored under the baseline scheme, which keeps
+    /// every element's stack in the state arena anyway.
+    virtual bool wantsStack(idx_t internalEl) const = 0;
+    /// Called for every element after its local phase. `stack` is the
+    /// element's derivative stack or nullptr if not requested/kept.
+    virtual void afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0,
+                            double dt, std::uint64_t& flops) = 0;
+  };
+
+  StepExecutor(const SimConfig& cfg, const kernels::AderKernels<Real, W>& kernels,
+               SolverState<Real, W>& state, const lts::Clustering& clustering,
+               std::vector<lts::ScheduleOp> schedule, LocalHook* hook);
+
+  /// Execute one full LTS cycle (every cluster advances by the largest
+  /// cluster's step). Step counters persist across calls.
+  void runCycle();
+
+  idx_t clusterStep(int_t cluster) const { return clusterStep_[cluster]; }
+  const std::vector<lts::ScheduleOp>& schedule() const { return schedule_; }
+  const NeighborDataPolicy<Real, W>& neighborPolicy() const { return *policy_; }
+
+  /// Sum the per-thread flop counters and reset them.
+  std::uint64_t drainFlops();
+
+ private:
+  void localPhase(int_t cluster);
+  void neighborPhase(int_t cluster);
+  void localElement(idx_t el, double dt, double t0, bool odd, int_t tid);
+  void neighborElement(idx_t el, idx_t step, int_t tid);
+
+  const kernels::AderKernels<Real, W>& kernels_;
+  SolverState<Real, W>& state_;
+  std::vector<double> clusterDt_;
+  std::vector<lts::ScheduleOp> schedule_;
+  std::vector<idx_t> clusterStep_;
+  LocalHook* hook_ = nullptr;
+  std::unique_ptr<NeighborDataPolicy<Real, W>> policy_;
+
+  std::vector<Scratch> scratch_;              ///< per thread
+  std::vector<aligned_vector<Real>> recStack_; ///< per-thread receiver stacks
+  std::vector<std::uint64_t> threadFlops_;
+};
+
+extern template class StepExecutor<float, 1>;
+extern template class StepExecutor<float, 8>;
+extern template class StepExecutor<float, 16>;
+extern template class StepExecutor<double, 1>;
+extern template class StepExecutor<double, 2>;
+
+} // namespace nglts::solver

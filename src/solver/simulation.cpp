@@ -14,20 +14,7 @@ template <typename Real, int W>
 Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials,
                                 SimConfig config)
     : cfg_(config), mesh_(std::move(mesh)), materials_(std::move(materials)) {
-  if (cfg_.order < 1 || cfg_.order > 7)
-    throw std::invalid_argument("SimConfig: order must be in 1..7");
-  if (cfg_.mechanisms < 0)
-    throw std::invalid_argument("SimConfig: mechanisms must be >= 0");
-  if (!(cfg_.cfl > 0.0) || cfg_.cfl > 1.0)
-    throw std::invalid_argument("SimConfig: cfl must be in (0, 1]");
-  if (cfg_.numClusters < 1)
-    throw std::invalid_argument("SimConfig: numClusters must be >= 1");
-  if (cfg_.lambda < 0.0)
-    throw std::invalid_argument("SimConfig: lambda must be >= 0");
-  if (cfg_.mechanisms > 0 && !(cfg_.attenuationFreq > 0.0))
-    throw std::invalid_argument("SimConfig: attenuationFreq must be > 0 for anelastic runs");
-  if (cfg_.receiverSampleDt < 0.0)
-    throw std::invalid_argument("SimConfig: receiverSampleDt must be >= 0");
+  validateSimConfig(cfg_);
   if (mesh_.faces.empty()) throw std::runtime_error("Simulation: mesh connectivity not built");
   if (static_cast<idx_t>(materials_.size()) != mesh_.numElements())
     throw std::runtime_error("Simulation: one material per element required");
@@ -43,13 +30,8 @@ Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Materia
     NGLTS_LOG_INFO << "lambda sweep: best lambda " << lambda << " speedup " << sweep.bestSpeedup;
   }
   clustering_ = lts::buildClustering(mesh_, dtCfl, nc, lambda);
-  schedule_ = lts::buildSchedule(nc);
-  lts::checkSchedule(schedule_, nc);
-
-  clusterElems_.assign(nc, {});
-  for (idx_t e = 0; e < mesh_.numElements(); ++e)
-    clusterElems_[clustering_.cluster[e]].push_back(e);
-  clusterStep_.assign(nc, 0);
+  std::vector<lts::ScheduleOp> schedule = lts::buildSchedule(nc);
+  lts::checkSchedule(schedule, nc);
 
   // Relaxation frequencies: shared across the mesh (fitConstantQ places them
   // by (mechanisms, band) only); take them from the first viscoelastic
@@ -66,29 +48,17 @@ Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Materia
   }
   kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
                                                              cfg_.sparseKernels, omega);
-  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo_, materials_, cfg_.mechanisms);
+  state_ = std::make_unique<SolverState<Real, W>>(mesh_, materials_, geo_, clustering_,
+                                                  *kernels_, cfg_);
+  executor_ = std::make_unique<StepExecutor<Real, W>>(
+      cfg_, *kernels_, *state_, clustering_, std::move(schedule),
+      static_cast<typename StepExecutor<Real, W>::LocalHook*>(this));
 
   const idx_t k = mesh_.numElements();
-  q_.assign(k * elSize(), Real(0));
-  b1_.assign(k * bufSize(), Real(0));
-  useB2_ = cfg_.scheme == TimeScheme::kLtsNextGen && nc > 1;
-  useB3_ = nc > 1; // both LTS schemes accumulate a window buffer
-  if (useB2_) b2_.assign(k * bufSize(), Real(0));
-  if (useB3_) b3_.assign(k * bufSize(), Real(0));
-  if (cfg_.scheme == TimeScheme::kLtsBaseline) derivStack_.assign(k * stackSize(), Real(0));
-
   elementSources_.assign(k, {});
   elementReceivers_.assign(k, {});
 
   recDt_ = cfg_.receiverSampleDt > 0.0 ? cfg_.receiverSampleDt : clustering_.dtMin;
-
-  const int_t nThreads = omp_get_max_threads();
-  scratch_.reserve(nThreads);
-  for (int_t t = 0; t < nThreads; ++t) {
-    scratch_.push_back(kernels_->makeScratch());
-    recStack_.emplace_back(stackSize(), Real(0));
-  }
-  threadFlops_.assign(nThreads, 0);
 }
 
 template <typename Real, int W>
@@ -125,7 +95,8 @@ void Simulation<Real, W>::addPointSource(const seismo::PointSource& src,
                                          std::vector<double> laneScale) {
   if (laneScale.empty()) laneScale.assign(W, 1.0);
   if (static_cast<int_t>(laneScale.size()) != W)
-    throw std::runtime_error("addPointSource: laneScale must have W entries");
+    throw std::invalid_argument("addPointSource: laneScale must have W = " + std::to_string(W) +
+                                " entries, got " + std::to_string(laneScale.size()));
   const idx_t el = mesh::locatePoint(mesh_, geo_, src.position);
   if (el < 0) throw std::runtime_error("addPointSource: source outside the mesh");
   const auto xi = mesh::physicalToReference(mesh_, geo_[el], el, src.position);
@@ -133,7 +104,7 @@ void Simulation<Real, W>::addPointSource(const seismo::PointSource& src,
   const int_t nb = kernels_->numBasis();
 
   BoundSource bs;
-  bs.element = el;
+  bs.element = state_->toInternal(el);
   bs.stf = src.stf;
   bs.coeffs.assign(elSize(), Real(0));
   for (int_t v = 0; v < kElasticVars; ++v) {
@@ -147,7 +118,7 @@ void Simulation<Real, W>::addPointSource(const seismo::PointSource& src,
         bs.coeffs[(static_cast<std::size_t>(v) * nb + b) * W + lane] =
             static_cast<Real>(wv * phi[b] * laneScale[lane]);
   }
-  elementSources_[el].push_back(static_cast<idx_t>(sources_.size()));
+  elementSources_[bs.element].push_back(static_cast<idx_t>(sources_.size()));
   sources_.push_back(std::move(bs));
 }
 
@@ -161,93 +132,41 @@ idx_t Simulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
   r.basisValues =
       kernels_->globalMatrices().tet->evalAll(mesh::physicalToReference(mesh_, geo_[el], el, position));
   r.traces.resize(W);
-  elementReceivers_[el].push_back(static_cast<idx_t>(receivers_.size()));
+  elementReceivers_[state_->toInternal(el)].push_back(static_cast<idx_t>(receivers_.size()));
   receivers_.push_back(std::move(r));
   return static_cast<idx_t>(receivers_.size()) - 1;
 }
 
 template <typename Real, int W>
-const Real* Simulation<Real, W>::neighborData(
-    idx_t el, int_t face, idx_t myStep, typename kernels::AderKernels<Real, W>::Scratch& s,
-    std::uint64_t& flops) const {
-  const mesh::FaceInfo& fi = mesh_.faces[el][face];
-  const int_t cMe = clustering_.cluster[el];
-  const int_t cNb = clustering_.cluster[fi.neighbor];
-  const Real* b1 = &b1_[fi.neighbor * bufSize()];
-
-  if (cfg_.scheme == TimeScheme::kLtsBaseline) {
-    if (cNb < cMe) return &b3_[fi.neighbor * bufSize()];
-    // Equal or larger: integrate the neighbor's derivative stack over this
-    // element's interval (the receiver-side evaluations of [15]).
-    const double dtMe = clustering_.clusterDt[cMe];
-    const double a = (cNb > cMe && (myStep % 2)) ? dtMe : 0.0;
-    flops += kernels_->integrateDerivStack(&derivStack_[fi.neighbor * stackSize()],
-                                           static_cast<Real>(a), static_cast<Real>(dtMe),
-                                           s.bufCombo.data());
-    return s.bufCombo.data();
-  }
-
-  // Next-generation scheme.
-  if (cNb == cMe) return b1;
-  if (cNb < cMe) return &b3_[fi.neighbor * bufSize()];
-  // Larger neighbor: first half-window uses B2, second B1 - B2 (Fig. 6).
-  const Real* b2 = &b2_[fi.neighbor * bufSize()];
-  if (myStep % 2 == 0) return b2;
-  Real* combo = s.bufCombo.data();
-  const std::size_t n = bufSize();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) combo[i] = b1[i] - b2[i];
-  flops += n;
-  return combo;
+const seismo::Receiver& Simulation<Real, W>::receiver(idx_t i) const {
+  if (i < 0 || i >= static_cast<idx_t>(receivers_.size()))
+    throw std::out_of_range("Simulation::receiver: index " + std::to_string(i) +
+                            " out of range (have " + std::to_string(receivers_.size()) + ")");
+  return receivers_[i];
 }
 
 template <typename Real, int W>
-void Simulation<Real, W>::localPhase(int_t cluster) {
-  const auto& elems = clusterElems_[cluster];
-  const double dt = clustering_.clusterDt[cluster];
-  const idx_t step = clusterStep_[cluster];
-  const bool odd = (step % 2) != 0;
-  const bool baseline = cfg_.scheme == TimeScheme::kLtsBaseline;
-  const double t0 = step * dt;
-
-#pragma omp parallel for schedule(guided)
-  for (std::size_t i = 0; i < elems.size(); ++i) {
-    const idx_t el = elems[i];
-    const int_t tid = omp_get_thread_num();
-    auto& s = scratch_[tid];
-    std::uint64_t flops = 0;
-    Real* q = &q_[el * elSize()];
-    Real* b1 = &b1_[el * bufSize()];
-    Real* b2 = useB2_ ? &b2_[el * bufSize()] : nullptr;
-    Real* b3 = useB3_ ? &b3_[el * bufSize()] : nullptr;
-    const bool wantStack = baseline || !elementReceivers_[el].empty();
-    Real* stack = baseline ? &derivStack_[el * stackSize()]
-                           : (wantStack ? recStack_[tid].data() : nullptr);
-
-    flops += kernels_->timePredict(elementData_[el], q, static_cast<Real>(dt), s.timeInt.data(),
-                                   b1, b2, b3, odd, s, stack);
-    flops += kernels_->volumeAndLocalSurface(elementData_[el], s.timeInt.data(), q, s);
-
-    for (idx_t si : elementSources_[el]) {
-      const BoundSource& bs = sources_[si];
-      const Real integral = static_cast<Real>(bs.stf->integral(t0, t0 + dt));
-      linalg::axpyBlock(integral, bs.coeffs.data(), q, elSize());
-      flops += 2ull * elSize();
-    }
-    if (!elementReceivers_[el].empty()) sampleReceivers(el, stack, t0, dt);
-    threadFlops_[tid] += flops;
+void Simulation<Real, W>::afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0,
+                                     double dt, std::uint64_t& flops) {
+  for (idx_t si : elementSources_[internalEl]) {
+    const BoundSource& bs = sources_[si];
+    const Real integral = static_cast<Real>(bs.stf->integral(t0, t0 + dt));
+    linalg::axpyBlock(integral, bs.coeffs.data(), q, elSize());
+    flops += 2ull * elSize();
   }
+  if (!elementReceivers_[internalEl].empty()) sampleReceivers(internalEl, stack, t0, dt);
 }
 
 template <typename Real, int W>
-void Simulation<Real, W>::sampleReceivers(idx_t el, const Real* stack, double t0, double dt) {
+void Simulation<Real, W>::sampleReceivers(idx_t internalEl, const Real* stack, double t0,
+                                          double dt) {
   // Evaluate the ADER predictor's Taylor expansion on the uniform receiver
   // time grid inside [t0, t0 + dt] — each LTS element records at full
   // resolution regardless of its cluster's step.
   const int_t nb = kernels_->numBasis();
   const int_t order = cfg_.order;
   const std::size_t vs = static_cast<std::size_t>(nb) * W;
-  for (idx_t ri : elementReceivers_[el]) {
+  for (idx_t ri : elementReceivers_[internalEl]) {
     auto& rec = receivers_[ri];
     // Project the derivative stack onto the receiver point:
     // poly[d][v][lane] (time polynomial coefficients).
@@ -281,55 +200,24 @@ void Simulation<Real, W>::sampleReceivers(idx_t el, const Real* stack, double t0
 }
 
 template <typename Real, int W>
-void Simulation<Real, W>::neighborPhase(int_t cluster) {
-  const auto& elems = clusterElems_[cluster];
-  const idx_t step = clusterStep_[cluster];
-
-#pragma omp parallel for schedule(guided)
-  for (std::size_t i = 0; i < elems.size(); ++i) {
-    const idx_t el = elems[i];
-    const int_t tid = omp_get_thread_num();
-    auto& s = scratch_[tid];
-    std::uint64_t flops = 0;
-    Real* q = &q_[el * elSize()];
-    for (int_t f = 0; f < 4; ++f) {
-      const mesh::FaceInfo& fi = mesh_.faces[el][f];
-      if (fi.neighbor < 0) continue;
-      const Real* data = neighborData(el, f, step, s, flops);
-      flops += kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm,
-                                              data, q, s);
-    }
-    threadFlops_[tid] += flops;
-  }
-  ++clusterStep_[cluster];
-}
-
-template <typename Real, int W>
 PerfStats Simulation<Real, W>::run(double endTime) {
   PerfStats stats;
   const double dtCycle = cycleDt();
   const std::uint64_t cycles =
       static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
-  std::fill(threadFlops_.begin(), threadFlops_.end(), 0);
+  executor_->drainFlops(); // reset counters for this run
 
   std::uint64_t updatesPerCycle = 0;
   for (int_t l = 0; l < clustering_.numClusters; ++l)
-    updatesPerCycle += clusterElems_[l].size() * lts::stepsPerCycle(clustering_.numClusters, l);
+    updatesPerCycle += clustering_.clusterSize[l] * lts::stepsPerCycle(clustering_.numClusters, l);
 
   Timer timer;
-  for (std::uint64_t c = 0; c < cycles; ++c) {
-    for (const lts::ScheduleOp& op : schedule_) {
-      if (op.kind == lts::PhaseKind::kLocal)
-        localPhase(op.cluster);
-      else
-        neighborPhase(op.cluster);
-    }
-  }
+  for (std::uint64_t c = 0; c < cycles; ++c) executor_->runCycle();
   stats.seconds = timer.seconds();
   stats.cycles = cycles;
   stats.simulatedTime = cycles * dtCycle;
   stats.elementUpdates = cycles * updatesPerCycle;
-  for (std::uint64_t f : threadFlops_) stats.flops += f;
+  stats.flops = executor_->drainFlops();
   return stats;
 }
 
@@ -352,7 +240,8 @@ std::uint64_t Simulation<Real, W>::cycleCommBytes(const std::vector<int_t>& part
                                                   bool faceLocal) const {
   // Analytic per-cycle byte volume if the mesh were cut along `partition`:
   // for every face crossing a cut, count the datasets the owning side sends
-  // (Sec. V-C; see DESIGN.md experiment "comm_volume").
+  // (Sec. V-C; see DESIGN.md experiment "comm_volume"). External ids — the
+  // accounting never touches the arena.
   const int_t nc = clustering_.numClusters;
   const std::size_t realBytes = sizeof(Real);
   const std::size_t fullBuf = bufSize() * realBytes;

@@ -1,10 +1,20 @@
 #pragma once
-// End-to-end simulation driver: unstructured anelastic ADER-DG with
+// Layer 3 of the solver core: the `Simulation` facade. Wires the clustering
+// pipeline, the `SolverState` memory arena (state.hpp) and the
+// `StepExecutor` schedule engine (executor.hpp) together, and owns what sits
+// on top of the time loop: point sources, receivers and the public API used
+// by the CLI, the benches and the tests.
+//
+// Supported schemes (see executor.hpp's NeighborDataPolicy strategies):
 //  * global time stepping (GTS == LTS with one cluster),
 //  * the next-generation clustered LTS scheme (paper Sec. V), and
 //  * the buffer+derivative baseline scheme of [15] (for the Tab. I
 //    comparison; same kernels, different neighbor-data paradigm).
 // Templated on the kernel scalar and the fused-simulation width W.
+//
+// Element ids on this API are *external* (the caller's mesh order);
+// internally the state permutes elements into cluster-contiguous arena
+// order and the facade translates through `state().toInternal()`.
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -12,7 +22,6 @@
 #include <stdexcept>
 #include <vector>
 
-#include "common/aligned.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "kernels/ader_kernels.hpp"
@@ -24,72 +33,14 @@
 #include "physics/material.hpp"
 #include "seismo/receiver.hpp"
 #include "seismo/source.hpp"
+#include "solver/config.hpp"
+#include "solver/executor.hpp"
+#include "solver/state.hpp"
 
 namespace nglts::solver {
 
-enum class TimeScheme : int_t {
-  kGts = 0,      ///< one cluster, everything at dt_min
-  kLtsNextGen,   ///< three-buffer scheme (this paper)
-  kLtsBaseline   ///< buffer+derivative scheme of [15]
-};
-
-/// Solver configuration shared by all time-stepping schemes. Every field
-/// has a validated range; `Simulation`'s constructor throws
-/// `std::invalid_argument` on violations.
-struct SimConfig {
-  /// Convergence order O of the ADER-DG discretization (polynomial degree
-  /// O-1, B = O(O+1)(O+2)/6 modal basis functions). Valid: 1..7; the
-  /// paper's experiments use O = 4..6 (Sec. III, Tab. I).
-  int_t order = 4;
-  /// Number of anelastic relaxation mechanisms m per element; the PDE has
-  /// N_q = 9 + 6m quantities. Valid: >= 0; 0 = purely elastic,
-  /// 3 = the paper's standard viscoelastic setting (Sec. II).
-  int_t mechanisms = 0;
-  /// CFL safety factor c in dt = c * dt_CFL(element). Valid: (0, 1];
-  /// 0.5 reproduces the paper's setting.
-  double cfl = 0.5;
-  /// Use fully sparse CSR kernels for the global (stiffness/flux) matrices
-  /// instead of dense block-trimmed ones. Profitable for fused simulations
-  /// (W > 1), where the ensemble dimension vectorizes perfectly (Sec. IV).
-  bool sparseKernels = false;
-  /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
-  /// (Sec. V), or the buffer+derivative baseline of [15].
-  TimeScheme scheme = TimeScheme::kGts;
-  /// Number of rate-2 LTS clusters N_c (cluster c steps at 2^c * dt_min).
-  /// Valid: >= 1; ignored for GTS (which behaves as N_c = 1). The paper
-  /// uses 3 for LOH.3 (Fig. 4) and 5 for La Habra (Fig. 5).
-  int_t numClusters = 3;
-  /// Cluster-growth control parameter lambda of the clustering criterion
-  /// (Sec. V-A): elements with dt < (1 + lambda) * 2^c * dt_min may stay
-  /// in cluster c. Valid: >= 0; ignored when `autoLambda` is set.
-  double lambda = 1.0;
-  /// Sweep lambda over a grid and keep the value maximizing the
-  /// theoretical speedup (the paper's auto-tuning of Sec. V-A).
-  bool autoLambda = false;
-  /// Central frequency [Hz] of the constant-Q fit band for the anelastic
-  /// relaxation mechanisms (Sec. II). Valid: > 0 when mechanisms > 0.
-  double attenuationFreq = 1.0;
-  /// Receiver sampling interval [s]; receivers are sampled on this uniform
-  /// grid by evaluating the ADER predictor's Taylor expansion inside each
-  /// element-local step. Valid: >= 0; 0 = sample at the receiver element's
-  /// own local time levels.
-  double receiverSampleDt = 0.0;
-};
-
-struct PerfStats {
-  double seconds = 0.0;
-  double simulatedTime = 0.0;
-  std::uint64_t cycles = 0;
-  std::uint64_t elementUpdates = 0; ///< per fused lane
-  std::uint64_t flops = 0;          ///< useful floating point ops (all lanes)
-  double elementUpdatesPerSecond() const {
-    return seconds > 0 ? static_cast<double>(elementUpdates) / seconds : 0.0;
-  }
-  double gflops() const { return seconds > 0 ? flops / seconds * 1e-9 : 0.0; }
-};
-
 template <typename Real, int W>
-class Simulation {
+class Simulation : private StepExecutor<Real, W>::LocalHook {
  public:
   /// Initial condition callback: fills the 9 elastic quantities at a
   /// physical point for one fused lane; memory variables start at zero.
@@ -97,23 +48,33 @@ class Simulation {
 
   Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials, SimConfig config);
 
+  /// The executor holds a hook pointer into this object; the facade is
+  /// created in place (guaranteed copy elision covers factory returns).
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   const SimConfig& config() const { return cfg_; }
+  /// The caller's mesh (external element order).
   const mesh::TetMesh& meshRef() const { return mesh_; }
   const lts::Clustering& clustering() const { return clustering_; }
   const kernels::AderKernels<Real, W>& kernels() const { return *kernels_; }
+  /// The memory arena (cluster-contiguous internal layout, id mapping).
+  const SolverState<Real, W>& state() const { return *state_; }
   double cycleDt() const { return clustering_.clusterDt.back(); }
 
   void setInitialCondition(const InitFn& f);
 
   /// Register a point source; `laneScale` (size W, defaults to all-1)
   /// modulates the amplitude per fused lane — the paper's "ensembles of
-  /// forward simulations" differ in their sources.
+  /// forward simulations" differ in their sources. Throws
+  /// `std::invalid_argument` on a size mismatch.
   void addPointSource(const seismo::PointSource& src, std::vector<double> laneScale = {});
 
   /// Register a receiver; returns its index or -1 if the point lies outside
   /// the mesh.
   idx_t addReceiver(const std::array<double, 3>& position);
-  const seismo::Receiver& receiver(idx_t i) const { return receivers_[i]; }
+  /// Bounds-checked receiver access; throws `std::out_of_range`.
+  const seismo::Receiver& receiver(idx_t i) const;
   idx_t numReceivers() const { return static_cast<idx_t>(receivers_.size()); }
 
   /// Advance by full LTS cycles until at least `endTime` is covered.
@@ -123,61 +84,50 @@ class Simulation {
   std::array<double, kElasticVars> sample(idx_t element, const std::array<double, 3>& xi,
                                           int_t lane = 0) const;
 
-  /// Direct DOF access (tests).
-  const Real* dofs(idx_t element) const { return &q_[element * kernels_->dofsPerElement()]; }
-  Real* dofs(idx_t element) { return &q_[element * kernels_->dofsPerElement()]; }
+  /// Direct DOF access by external element id (tests).
+  const Real* dofs(idx_t element) const { return state_->q(state_->toInternal(element)); }
+  Real* dofs(idx_t element) { return state_->q(state_->toInternal(element)); }
 
   /// Total bytes a distributed run would ship per cycle for the configured
   /// scheme, if the mesh were cut along `partition` (Sec. V-C accounting;
-  /// computed analytically, used by the comm-volume bench).
+  /// computed analytically, used by the comm-volume bench). `partition` is
+  /// indexed by external element id.
   std::uint64_t cycleCommBytes(const std::vector<int_t>& partition, bool faceLocal) const;
 
  private:
+  // StepExecutor<Real, W>::LocalHook — called on internal element ids.
+  bool wantsStack(idx_t internalEl) const override {
+    return !elementReceivers_[internalEl].empty();
+  }
+  void afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0, double dt,
+                  std::uint64_t& flops) override;
+
+  /// Dense receiver sampling from the predictor's derivative stack.
+  void sampleReceivers(idx_t internalEl, const Real* derivStack, double t0, double dt);
+
   SimConfig cfg_;
-  mesh::TetMesh mesh_;
-  std::vector<physics::Material> materials_;
-  std::vector<mesh::ElementGeometry> geo_;
-  lts::Clustering clustering_;
-  std::vector<lts::ScheduleOp> schedule_;
-  std::vector<std::vector<idx_t>> clusterElems_;
-  std::vector<idx_t> clusterStep_;
+  mesh::TetMesh mesh_;                        ///< external order
+  std::vector<physics::Material> materials_;  ///< external order
+  std::vector<mesh::ElementGeometry> geo_;    ///< external order
+  lts::Clustering clustering_;                ///< external order
 
   std::unique_ptr<kernels::AderKernels<Real, W>> kernels_;
-  std::vector<kernels::ElementData<Real>> elementData_;
-
-  aligned_vector<Real> q_;
-  aligned_vector<Real> b1_, b2_, b3_;
-  aligned_vector<Real> derivStack_; ///< baseline scheme only
-  bool useB2_ = false, useB3_ = false;
+  std::unique_ptr<SolverState<Real, W>> state_;
+  std::unique_ptr<StepExecutor<Real, W>> executor_;
 
   struct BoundSource {
-    idx_t element;
+    idx_t element; ///< internal id
     std::vector<Real> coeffs; ///< nq x nb x W modal injection coefficients
     std::shared_ptr<seismo::SourceTimeFunction> stf;
   };
   std::vector<BoundSource> sources_;
-  std::vector<std::vector<idx_t>> elementSources_; // per element source ids
-  std::vector<seismo::Receiver> receivers_;
-  std::vector<std::vector<idx_t>> elementReceivers_;
-
-  std::vector<typename kernels::AderKernels<Real, W>::Scratch> scratch_;
-  std::vector<aligned_vector<Real>> recStack_; ///< per-thread derivative stacks
-  std::vector<std::uint64_t> threadFlops_;
+  std::vector<std::vector<idx_t>> elementSources_;   ///< internal el -> source ids
+  std::vector<seismo::Receiver> receivers_;          ///< Receiver::element external
+  std::vector<std::vector<idx_t>> elementReceivers_; ///< internal el -> receiver ids
   double recDt_ = 0.0;
 
   std::size_t elSize() const { return kernels_->dofsPerElement(); }
   std::size_t bufSize() const { return kernels_->elasticDofsPerElement(); }
-  std::size_t stackSize() const { return static_cast<std::size_t>(cfg_.order) * bufSize(); }
-
-  void localPhase(int_t cluster);
-  void neighborPhase(int_t cluster);
-  /// Dense receiver sampling from the predictor's derivative stack.
-  void sampleReceivers(idx_t el, const Real* derivStack, double t0, double dt);
-  /// Neighbor data for face f of element el (writes into scratch if a
-  /// combination/integration is required); returns pointer to 9 x nb x W.
-  const Real* neighborData(idx_t el, int_t face, idx_t myStep,
-                           typename kernels::AderKernels<Real, W>::Scratch& s,
-                           std::uint64_t& flops) const;
 };
 
 extern template class Simulation<float, 1>;

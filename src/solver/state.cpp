@@ -1,0 +1,94 @@
+#include "solver/state.hpp"
+
+#include <numeric>
+
+#include "kernels/kernel_setup.hpp"
+
+namespace nglts::solver {
+
+namespace {
+
+partition::Reordering identityReordering(idx_t n) {
+  partition::Reordering r;
+  r.oldId.resize(n);
+  std::iota(r.oldId.begin(), r.oldId.end(), idx_t{0});
+  r.newId = r.oldId;
+  return r;
+}
+
+} // namespace
+
+template <typename Real, int W>
+SolverState<Real, W>::SolverState(const mesh::TetMesh& externalMesh,
+                                  const std::vector<physics::Material>& externalMaterials,
+                                  const std::vector<mesh::ElementGeometry>& externalGeo,
+                                  const lts::Clustering& clustering,
+                                  const kernels::AderKernels<Real, W>& kernels,
+                                  const SimConfig& cfg) {
+  const idx_t n = externalMesh.numElements();
+  reorder_ = cfg.clusterReorder
+                 ? partition::buildClusterReordering(externalMesh, clustering.cluster)
+                 : identityReordering(n);
+  mesh_ = partition::applyReordering(externalMesh, reorder_);
+  numClusters_ = clustering.numClusters;
+  contiguous_ = cfg.clusterReorder;
+  cluster_ = partition::permute(clustering.cluster, reorder_);
+  if (contiguous_) {
+    clusterOffsets_ = partition::clusterRanges(cluster_, numClusters_);
+  } else {
+    // Original mesh order: clusters are scattered, keep index lists.
+    clusterElems_.assign(numClusters_, {});
+    for (idx_t e = 0; e < n; ++e) clusterElems_[cluster_[e]].push_back(e);
+  }
+
+  const std::vector<mesh::ElementGeometry> geo = partition::permute(externalGeo, reorder_);
+  const std::vector<physics::Material> mats = partition::permute(externalMaterials, reorder_);
+  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo, mats, cfg.mechanisms);
+
+  elSize_ = kernels.dofsPerElement();
+  bufSize_ = kernels.elasticDofsPerElement();
+  stackSize_ = static_cast<std::size_t>(kernels.order()) * bufSize_;
+  useB2_ = cfg.scheme == TimeScheme::kLtsNextGen && clustering.numClusters > 1;
+  useB3_ = clustering.numClusters > 1; // both LTS schemes accumulate a window buffer
+  const bool useStack = cfg.scheme == TimeScheme::kLtsBaseline;
+
+  // resize() leaves arena_vector pages untouched (FirstTouchAllocator); the
+  // zero-fill below is the NUMA first-touch pass, spreading each cluster's
+  // pages across the worker threads' memory nodes (see state.hpp header).
+  q_.resize(n * elSize_);
+  b1_.resize(n * bufSize_);
+  if (useB2_) b2_.resize(n * bufSize_);
+  if (useB3_) b3_.resize(n * bufSize_);
+  if (useStack) derivStack_.resize(n * stackSize_);
+
+  if (contiguous_) {
+    for (int_t c = 0; c < numClusters_; ++c) {
+      const idx_t begin = clusterBegin(c), end = clusterEnd(c);
+#pragma omp parallel for schedule(static)
+      for (idx_t el = begin; el < end; ++el) {
+        linalg::zeroBlock(q(el), elSize_);
+        linalg::zeroBlock(b1(el), bufSize_);
+        if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
+        if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
+        if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static)
+    for (idx_t el = 0; el < n; ++el) {
+      linalg::zeroBlock(q(el), elSize_);
+      linalg::zeroBlock(b1(el), bufSize_);
+      if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
+      if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
+      if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
+    }
+  }
+}
+
+template class SolverState<float, 1>;
+template class SolverState<float, 8>;
+template class SolverState<float, 16>;
+template class SolverState<double, 1>;
+template class SolverState<double, 2>;
+
+} // namespace nglts::solver

@@ -172,9 +172,12 @@ TEST(FusedMisc, InvalidConfigurationsThrow) {
                  std::runtime_error);
     EXPECT_THROW(
         sim.addPointSource(nsei::forceSource({0.5, 0.5, 0.5}, {1, 0, 0}, stf), {1.0, 2.0}),
-        std::runtime_error);
+        std::invalid_argument);
     // Receiver outside reports -1 instead of throwing.
     EXPECT_EQ(sim.addReceiver({9.0, 9.0, 9.0}), -1);
+    // Receiver access is bounds-checked.
+    EXPECT_THROW(sim.receiver(0), std::out_of_range);
+    EXPECT_THROW(sim.receiver(-1), std::out_of_range);
   }
   {
     // Mesh without connectivity.

@@ -1,0 +1,211 @@
+// The cluster-contiguous solver arena (solver/state.hpp): permutation
+// round-trip of the external <-> internal id maps, the cluster-contiguity
+// invariant of the internal layout, the neighbor-packing property of
+// partition::buildClusterReordering, and bitwise identity of GTS runs with
+// the reorder enabled vs disabled (the permutation must never change the
+// math, only the memory layout).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/box_gen.hpp"
+#include "partition/reorder.hpp"
+#include "physics/attenuation.hpp"
+#include "solver/simulation.hpp"
+
+namespace ns = nglts::solver;
+namespace nm = nglts::mesh;
+namespace np = nglts::physics;
+namespace nsei = nglts::seismo;
+namespace npart = nglts::partition;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+/// Two-velocity-layer box (miniature LOH-style setting) with a genuine
+/// multi-cluster clustering.
+ns::Simulation<double, 1> makeSim(ns::TimeScheme scheme, int_t numClusters, bool reorder,
+                                  idx_t n = 5) {
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1000.0, n);
+  spec.jitter = 0.18;
+  spec.freeSurfaceTop = true;
+  auto mesh = nm::generateBox(spec);
+
+  std::vector<np::Material> mats(mesh.numElements());
+  for (idx_t e = 0; e < mesh.numElements(); ++e) {
+    const auto c = mesh.centroid(e);
+    const double vs = c[2] > 500.0 ? 400.0 : 1600.0;
+    mats[e] = np::elasticMaterial(2600.0, vs * std::sqrt(3.0), vs);
+  }
+
+  ns::SimConfig cfg;
+  cfg.order = 3;
+  cfg.scheme = scheme;
+  cfg.numClusters = numClusters;
+  cfg.clusterReorder = reorder;
+  return ns::Simulation<double, 1>(std::move(mesh), std::move(mats), cfg);
+}
+
+void addSourceAndReceiver(ns::Simulation<double, 1>& sim) {
+  auto stf = std::make_shared<nsei::RickerWavelet>(0.6, 2.0);
+  sim.addPointSource(
+      nsei::momentTensorSource({510.0, 480.0, 350.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+  ASSERT_GE(sim.addReceiver({760.0, 730.0, 930.0}), 0);
+}
+
+} // namespace
+
+TEST(StateReorder, PermutationRoundTrip) {
+  auto sim = makeSim(ns::TimeScheme::kLtsNextGen, 3, true);
+  const auto& st = sim.state();
+  const idx_t n = st.numElements();
+  ASSERT_EQ(n, sim.meshRef().numElements());
+  std::vector<char> hit(n, 0);
+  for (idx_t ext = 0; ext < n; ++ext) {
+    const idx_t in = st.toInternal(ext);
+    ASSERT_GE(in, 0);
+    ASSERT_LT(in, n);
+    EXPECT_EQ(st.toExternal(in), ext);
+    EXPECT_EQ(hit[in], 0) << "internal slot assigned twice";
+    hit[in] = 1;
+  }
+}
+
+TEST(StateReorder, ClustersAreContiguousRanges) {
+  auto sim = makeSim(ns::TimeScheme::kLtsNextGen, 3, true);
+  const auto& st = sim.state();
+  ASSERT_TRUE(st.contiguousClusters());
+
+  // Ranges tile [0, n) and every element inside a range carries its
+  // cluster's id.
+  idx_t covered = 0;
+  for (int_t c = 0; c < st.numClusters(); ++c) {
+    EXPECT_EQ(st.clusterBegin(c), covered);
+    for (idx_t el = st.clusterBegin(c); el < st.clusterEnd(c); ++el)
+      ASSERT_EQ(st.clusterOf(el), c);
+    covered = st.clusterEnd(c);
+  }
+  EXPECT_EQ(covered, st.numElements());
+
+  // Range sizes agree with the clustering (per external cluster ids).
+  const auto& clustering = sim.clustering();
+  for (int_t c = 0; c < st.numClusters(); ++c)
+    EXPECT_EQ(st.clusterEnd(c) - st.clusterBegin(c), clustering.clusterSize[c]);
+
+  // The internal id of every external element lands inside its cluster's
+  // range.
+  for (idx_t ext = 0; ext < st.numElements(); ++ext) {
+    const int_t c = clustering.cluster[ext];
+    const idx_t in = st.toInternal(ext);
+    EXPECT_GE(in, st.clusterBegin(c));
+    EXPECT_LT(in, st.clusterEnd(c));
+  }
+}
+
+TEST(StateReorder, BfsPacksNeighborsCloserThanStableSort) {
+  // The BFS numbering must not do worse than the plain by-cluster stable
+  // sort on the mean same-cluster neighbor distance (the quantity the
+  // neighbor phase's cache behaviour depends on).
+  nm::BoxSpec spec;
+  spec.planes[0] = nm::uniformPlanes(0.0, 1.0, 7);
+  spec.planes[1] = nm::uniformPlanes(0.0, 1.0, 7);
+  spec.planes[2] = nm::uniformPlanes(0.0, 1.0, 7);
+  spec.jitter = 0.1;
+  auto mesh = nm::generateBox(spec);
+  // Synthetic two-cluster split along x.
+  std::vector<int_t> cluster(mesh.numElements());
+  for (idx_t e = 0; e < mesh.numElements(); ++e)
+    cluster[e] = mesh.centroid(e)[0] > 0.5 ? 1 : 0;
+
+  auto meanNeighborDistance = [&](const npart::Reordering& r) {
+    double sum = 0.0;
+    idx_t count = 0;
+    for (idx_t e = 0; e < mesh.numElements(); ++e)
+      for (int_t f = 0; f < 4; ++f) {
+        const idx_t nb = mesh.faces[e][f].neighbor;
+        if (nb < 0 || cluster[nb] != cluster[e]) continue;
+        sum += std::abs(static_cast<double>(r.newId[e] - r.newId[nb]));
+        ++count;
+      }
+    return sum / count;
+  };
+
+  const auto bfs = npart::buildClusterReordering(mesh, cluster, true);
+  const auto sorted = npart::buildClusterReordering(mesh, cluster, false);
+  EXPECT_LE(meanNeighborDistance(bfs), meanNeighborDistance(sorted));
+
+  // Both are cluster-contiguous.
+  for (const auto* r : {&bfs, &sorted}) {
+    const auto perm = npart::permute(cluster, *r);
+    EXPECT_NO_THROW(npart::clusterRanges(perm, 2));
+  }
+}
+
+TEST(StateReorder, GtsBitwiseIdenticalWithAndWithoutReorder) {
+  auto on = makeSim(ns::TimeScheme::kGts, 1, true);
+  auto off = makeSim(ns::TimeScheme::kGts, 1, false);
+  ASSERT_TRUE(on.state().contiguousClusters());
+  ASSERT_FALSE(off.state().contiguousClusters());
+  addSourceAndReceiver(on);
+  addSourceAndReceiver(off);
+  on.run(0.5);
+  off.run(0.5);
+
+  // DOFs, addressed by external ids, must agree bit for bit: the reorder
+  // changes the memory layout, never the math.
+  for (idx_t el = 0; el < on.meshRef().numElements(); ++el) {
+    const double* a = on.dofs(el);
+    const double* b = off.dofs(el);
+    for (std::size_t i = 0; i < on.kernels().dofsPerElement(); ++i)
+      ASSERT_EQ(a[i], b[i]) << "element " << el << " dof " << i;
+  }
+
+  // Seismograms too (sampled inside element-local steps).
+  const auto& ta = on.receiver(0).traces[0];
+  const auto& tb = off.receiver(0).traces[0];
+  ASSERT_EQ(ta.times.size(), tb.times.size());
+  ASSERT_GT(ta.times.size(), 0u);
+  for (std::size_t i = 0; i < ta.times.size(); ++i) {
+    ASSERT_EQ(ta.times[i], tb.times[i]);
+    for (int_t v = 0; v < nglts::kElasticVars; ++v)
+      ASSERT_EQ(ta.values[i][v], tb.values[i][v]) << "sample " << i << " var " << v;
+  }
+}
+
+TEST(StateReorder, LtsBitwiseIdenticalWithAndWithoutReorder) {
+  // Same property under genuine multi-cluster LTS: per-element updates are
+  // deterministic and layout-independent.
+  auto on = makeSim(ns::TimeScheme::kLtsNextGen, 3, true);
+  auto off = makeSim(ns::TimeScheme::kLtsNextGen, 3, false);
+  addSourceAndReceiver(on);
+  addSourceAndReceiver(off);
+  on.run(0.5);
+  off.run(0.5);
+  for (idx_t el = 0; el < on.meshRef().numElements(); ++el) {
+    const double* a = on.dofs(el);
+    const double* b = off.dofs(el);
+    for (std::size_t i = 0; i < on.kernels().dofsPerElement(); ++i)
+      ASSERT_EQ(a[i], b[i]) << "element " << el << " dof " << i;
+  }
+}
+
+TEST(StateReorder, BaselineBitwiseIdenticalWithAndWithoutReorder) {
+  // And under the buffer+derivative baseline scheme, whose neighbor phase
+  // reads whole derivative-stack arena slices.
+  auto on = makeSim(ns::TimeScheme::kLtsBaseline, 3, true);
+  auto off = makeSim(ns::TimeScheme::kLtsBaseline, 3, false);
+  addSourceAndReceiver(on);
+  addSourceAndReceiver(off);
+  on.run(0.3);
+  off.run(0.3);
+  for (idx_t el = 0; el < on.meshRef().numElements(); ++el) {
+    const double* a = on.dofs(el);
+    const double* b = off.dofs(el);
+    for (std::size_t i = 0; i < on.kernels().dofsPerElement(); ++i)
+      ASSERT_EQ(a[i], b[i]) << "element " << el << " dof " << i;
+  }
+}
