@@ -51,9 +51,10 @@ int main() {
   for (int_t ranks : rankCounts) {
     const auto parts = partition::partitionGraph(graph, sc.mesh, ranks);
     parallel::DistConfig cfg;
-    cfg.order = 4;
-    cfg.numClusters = 4;
-    cfg.lambda = sweep.bestLambda;
+    cfg.sim.order = 4;
+    cfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.sim.numClusters = 4;
+    cfg.sim.lambda = sweep.bestLambda;
     cfg.compressFaces = true;
     cfg.threaded = ranks > 1;
     parallel::DistributedSimulation<float, 1> sim(sc.mesh, sc.materials, parts.part, cfg);

@@ -10,6 +10,10 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "lts/clustering.hpp"
+#include "parallel/dist_sim.hpp"
+#include "partition/dual_graph.hpp"
+#include "partition/partitioner.hpp"
 #include "solver/simulation.hpp"
 
 using namespace nglts;
@@ -139,6 +143,52 @@ int main() {
   json.rowSet("updates_per_sec_reordered", packed.updatesPerSec);
   json.rowSet("updates_per_sec_index_lists", lists.updatesPerSec);
   json.rowSet("reorder_speedup", packed.updatesPerSec / lists.updatesPerSec);
+
+  // Distributed LTS on the unified engine (Sec. V-C): 2-rank ThreadComm run
+  // of the same LOH.3-like setting, raw 9xB vs face-local 9xF payloads.
+  {
+    bench::Loh3Scenario sc(scale);
+    const auto geo = mesh::computeGeometry(sc.mesh);
+    const auto dtCfl = lts::cflTimeSteps(geo, sc.materials, 4);
+    const auto clustering = lts::buildClustering(sc.mesh, dtCfl, 3, 1.0);
+    const auto graph = partition::buildDualGraph(sc.mesh, clustering);
+    const auto parts = partition::partitionGraph(graph, sc.mesh, 2);
+    double updates[2] = {0, 0};
+    std::uint64_t bytes[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      parallel::DistConfig dcfg;
+      dcfg.sim.order = 4;
+      dcfg.sim.mechanisms = 3;
+      dcfg.sim.attenuationFreq = 1.0;
+      dcfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
+      dcfg.sim.numClusters = 3;
+      dcfg.sim.lambda = 1.0;
+      dcfg.compressFaces = mode == 1;
+      dcfg.threaded = true;
+      parallel::DistributedSimulation<float, 1> dist(sc.mesh, sc.materials, parts.part, dcfg);
+      dist.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
+        for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
+        const double r2 = (x[0] - 4000.0) * (x[0] - 4000.0) +
+                          (x[1] - 4000.0) * (x[1] - 4000.0) +
+                          (x[2] + 2000.0) * (x[2] + 2000.0);
+        q9[kVelW] = std::exp(-r2 / 640000.0);
+      });
+      dist.run(dist.cycleDt()); // warm-up cycle
+      const auto st = dist.run(tEnd);
+      updates[mode] = static_cast<double>(st.elementUpdates) / st.seconds;
+      bytes[mode] = st.commBytes / st.cycles;
+    }
+    std::printf("distributed LTS (2 ranks): raw %.3g updates/s (%.3g B/cycle), "
+                "compressed %.3g updates/s (%.3g B/cycle)\n",
+                updates[0], static_cast<double>(bytes[0]), updates[1],
+                static_cast<double>(bytes[1]));
+    json.beginRow();
+    json.rowSet("configuration", "distributed LTS 2-rank raw-vs-compressed A/B");
+    json.rowSet("updates_per_sec_raw", updates[0]);
+    json.rowSet("updates_per_sec_compressed", updates[1]);
+    json.rowSet("bytes_per_cycle_raw", static_cast<double>(bytes[0]));
+    json.rowSet("bytes_per_cycle_compressed", static_cast<double>(bytes[1]));
+  }
 
   std::printf("paper Tab. I speedups over single-sim GTS:\n");
   std::printf("  EDGE: GTS 1.00/1.80, LTS(1.0) 2.14/3.91, LTS(0.8) 2.51/4.51\n");

@@ -26,6 +26,7 @@ void printUsage() {
       "      --clusters N      number of LTS clusters (>= 1)\n"
       "      --fused W         fused-simulation width (1|2 double, 1|8|16 float scenarios)\n"
       "      --end-time T      simulated end time [s]\n"
+      "      --ranks N         distributed ranks (> 1 runs the message-passing engine)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
       opts.fusedWidth = parseInt(arg, requireValue(argc, argv, i));
     } else if (arg == "--end-time") {
       opts.endTime = parseDouble(arg, requireValue(argc, argv, i));
+    } else if (arg == "--ranks") {
+      opts.ranks = parseInt(arg, requireValue(argc, argv, i));
     } else if (arg == "--lambda") {
       opts.lambda = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--scale") {

@@ -38,6 +38,11 @@ struct ScenarioOptions {
   /// Simulated end time [s] (> 0). Scenarios run full LTS cycles until at
   /// least this much physical time is covered.
   std::optional<double> endTime;
+  /// Number of distributed ranks (>= 1). When > 1, scenarios that support
+  /// it run through `parallel::DistributedSimulation` over a weighted
+  /// dual-graph partition instead of the shared-memory solver; results are
+  /// bitwise-identical to the single-rank run (Sec. V-C).
+  std::optional<int_t> ranks;
   /// Fixed cluster-growth control parameter lambda (>= 0); setting it
   /// disables the scenario's automatic lambda sweep (Sec. V-A).
   std::optional<double> lambda;

@@ -13,14 +13,19 @@
 #include <string>
 
 #include "cli/scenario.hpp"
+#include "lts/clustering.hpp"
 #include "mesh/box_gen.hpp"
+#include "mesh/geometry.hpp"
 #include "parallel/dist_sim.hpp"
+#include "partition/dual_graph.hpp"
+#include "partition/partitioner.hpp"
 #include "physics/attenuation.hpp"
 #include "pre/pipeline.hpp"
 #include "seismo/misfit.hpp"
 #include "seismo/receiver.hpp"
 #include "seismo/source.hpp"
 #include "seismo/velocity_model.hpp"
+#include "solver/setup.hpp"
 
 namespace nglts::cli {
 namespace {
@@ -70,6 +75,58 @@ void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts) {
     throw std::invalid_argument("end time must be > 0");
   if (!(opts.meshScale > 0.0))
     throw std::invalid_argument("mesh scale must be > 0");
+  if (opts.ranks && *opts.ranks < 1)
+    throw std::invalid_argument("ranks must be >= 1");
+}
+
+/// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
+/// value in `cfg`), cut the weighted dual graph into `nRanks` parts and
+/// build the distributed engine over it. SeqComm lockstep by default —
+/// results are bitwise-identical to the shared-memory solver.
+template <typename Real, int W>
+parallel::DistributedSimulation<Real, W> makeDistributed(mesh::TetMesh mesh,
+                                                         std::vector<physics::Material> mats,
+                                                         solver::SimConfig& cfg, int_t nRanks,
+                                                         bool compress = true,
+                                                         bool threaded = false) {
+  // Resolve the clustering once for the partition weights and pin its
+  // lambda into cfg — the driver's internal re-resolution (geometry + CFL +
+  // buildClustering, cheap O(n)) then reproduces it without re-running the
+  // expensive auto-lambda sweep.
+  const auto geo = mesh::computeGeometry(mesh);
+  const auto dtCfl = lts::cflTimeSteps(geo, mats, cfg.order, cfg.cfl);
+  const auto clustering = solver::resolveClustering(mesh, dtCfl, cfg);
+  cfg.lambda = clustering.lambda;
+  cfg.autoLambda = false;
+  const auto graph = partition::buildDualGraph(mesh, clustering);
+  auto parts = partition::partitionGraph(graph, mesh, nRanks);
+  parallel::DistConfig dcfg;
+  dcfg.sim = cfg;
+  dcfg.compressFaces = compress;
+  dcfg.threaded = threaded;
+  return parallel::DistributedSimulation<Real, W>(std::move(mesh), std::move(mats),
+                                                  std::move(parts.part), dcfg);
+}
+
+solver::PerfStats toPerfStats(const parallel::DistStats& st) {
+  solver::PerfStats p;
+  p.seconds = st.seconds;
+  p.simulatedTime = st.simulatedTime;
+  p.cycles = st.cycles;
+  p.elementUpdates = st.elementUpdates;
+  p.flops = st.flops;
+  return p;
+}
+
+void appendDistLine(std::string& out, const parallel::DistStats& st, int_t ranks,
+                    bool compressed) {
+  appendf(out,
+          "distributed run: %lld ranks, %.2f MB in %llu messages (%s), %.3g element "
+          "updates/s\n",
+          static_cast<long long>(ranks), st.commBytes / 1e6,
+          static_cast<unsigned long long>(st.messages),
+          compressed ? "9xF face-local compression" : "raw 9xB buffers",
+          st.seconds > 0 ? static_cast<double>(st.elementUpdates) / st.seconds : 0.0);
 }
 
 int_t resolveWidth(const ScenarioOptions& opts, int_t fallback,
@@ -106,6 +163,7 @@ void writeTraceCsv(const std::string& path, const std::vector<double>& times,
                    const std::vector<std::vector<double>>& columns,
                    const std::string& header) {
   std::ofstream csv(path);
+  csv.precision(17); // round-trip exact doubles (golden-fixture comparisons)
   csv << header << '\n';
   for (std::size_t i = 0; i < times.size(); ++i) {
     csv << times[i];
@@ -155,10 +213,21 @@ class QuickstartScenario final : public Scenario {
   }
 
  private:
+  template <typename Sim>
+  static void addSetup(Sim& sim) {
+    // A double-couple point source and a surface receiver.
+    auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
+    sim.addPointSource(
+        seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+    if (sim.addReceiver({800.0, 750.0, -20.0}) < 0)
+      throw std::runtime_error("quickstart receiver outside mesh");
+  }
+
   template <int W>
   ScenarioReport runW(const ScenarioOptions& opts) const {
-    const solver::SimConfig cfg = resolveConfig(opts);
+    solver::SimConfig cfg = resolveConfig(opts);
     const double tEnd = opts.endTime.value_or(2.0);
+    const int_t nRanks = opts.ranks.value_or(1);
 
     // A 1 km^3 box, ~100 m elements at scale 1, jittered, free surface on top.
     mesh::BoxSpec spec;
@@ -179,27 +248,35 @@ class QuickstartScenario final : public Scenario {
                                                    cfg.mechanisms, cfg.attenuationFreq);
     }
 
-    solver::Simulation<double, W> sim(std::move(mesh), std::move(materials), cfg);
     ScenarioReport report;
-    report.config = sim.config();
-    appendf(report.summary, "clusters:");
-    for (idx_t n : sim.clustering().clusterSize)
-      appendf(report.summary, " %lld", static_cast<long long>(n));
-    appendf(report.summary, "  (lambda %.2f, theoretical speedup %.2fx)\n",
-            sim.clustering().lambda, sim.clustering().theoreticalSpeedup);
-
-    // A double-couple point source and a surface receiver.
-    auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
-    sim.addPointSource(
-        seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
-    const idx_t rec = sim.addReceiver({800.0, 750.0, -20.0});
-    if (rec < 0) throw std::runtime_error("quickstart receiver outside mesh");
-
-    report.stats = sim.run(tEnd);
-    appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
-
     const idx_t samples = 101;
-    report.trace = seismo::resample(sim.receiver(rec).traces[0], kVelU, tEnd, samples);
+    if (nRanks > 1) {
+      // Distributed path: same engine under a halo decomposition — the
+      // seismogram is bitwise-identical to the single-rank run.
+      auto sim = makeDistributed<double, W>(std::move(mesh), std::move(materials), cfg,
+                                            nRanks);
+      report.config = cfg;
+      addSetup(sim);
+      progressf(opts, "running distributed on %lld ranks...\n",
+                static_cast<long long>(sim.ranks()));
+      const auto st = sim.run(tEnd);
+      report.stats = toPerfStats(st);
+      appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
+      appendDistLine(report.summary, st, sim.ranks(), /*compressed=*/true);
+      report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
+    } else {
+      solver::Simulation<double, W> sim(std::move(mesh), std::move(materials), cfg);
+      report.config = sim.config();
+      appendf(report.summary, "clusters:");
+      for (idx_t n : sim.clustering().clusterSize)
+        appendf(report.summary, " %lld", static_cast<long long>(n));
+      appendf(report.summary, "  (lambda %.2f, theoretical speedup %.2fx)\n",
+              sim.clustering().lambda, sim.clustering().theoreticalSpeedup);
+      addSetup(sim);
+      report.stats = sim.run(tEnd);
+      appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
+      report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
+    }
     double peak = 0.0;
     for (double v : report.trace) peak = std::max(peak, std::fabs(v));
     appendf(report.summary, "receiver vx peak: %.4e m/s over %.2f s\n", peak, tEnd);
@@ -270,8 +347,8 @@ class Loh3Scenario final : public Scenario {
     return solver::Simulation<double, W>(std::move(mesh), std::move(materials), cfg);
   }
 
-  template <int W>
-  static void addSetup(solver::Simulation<double, W>& sim) {
+  template <typename Sim>
+  static void addSetup(Sim& sim) {
     // LOH-style source: M_xy double couple at 2 km depth, Brune moment rate.
     auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
     sim.addPointSource(
@@ -283,31 +360,68 @@ class Loh3Scenario final : public Scenario {
 
   template <int W>
   ScenarioReport runW(const ScenarioOptions& opts) const {
-    const solver::SimConfig cfg = resolveConfig(opts);
+    solver::SimConfig cfg = resolveConfig(opts);
     solver::SimConfig gtsCfg = cfg;
     gtsCfg.scheme = solver::TimeScheme::kGts;
     gtsCfg.autoLambda = false;
     const double tEnd = opts.endTime.value_or(2.0);
+    const int_t nRanks = opts.ranks.value_or(1);
 
     auto gts = makeSim<W>(gtsCfg, opts.meshScale);
-    auto primary = makeSim<W>(cfg, opts.meshScale);
+    addSetup(gts);
     ScenarioReport report;
+    progressf(opts, "running GTS reference...\n");
+    const auto sg = gts.run(tEnd);
+
+    if (nRanks > 1) {
+      mesh::TetMesh mesh = makeMesh(opts.meshScale);
+      const seismo::Loh3Model model(0.0);
+      auto materials =
+          seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
+      auto primary =
+          makeDistributed<double, W>(std::move(mesh), std::move(materials), cfg, nRanks);
+      report.config = cfg;
+      appendf(report.summary,
+              "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
+              static_cast<long long>(gts.meshRef().numElements()),
+              schemeName(cfg.scheme).c_str(), primary.clustering().lambda,
+              primary.clustering().theoreticalSpeedup);
+      addSetup(primary);
+      progressf(opts, "running distributed %s on %lld ranks...\n",
+                schemeName(cfg.scheme).c_str(), static_cast<long long>(primary.ranks()));
+      const auto st = primary.run(tEnd);
+      report.stats = toPerfStats(st);
+      appendf(report.summary, "GTS: %.2f s wall;  %s: %.2f s wall  => measured speedup %.2fx\n",
+              sg.seconds, schemeName(cfg.scheme).c_str(), report.stats.seconds,
+              sg.seconds / report.stats.seconds);
+      appendDistLine(report.summary, st, primary.ranks(), /*compressed=*/true);
+      compareReceivers(opts, cfg, tEnd, gts, primary, report);
+      return report;
+    }
+
+    auto primary = makeSim<W>(cfg, opts.meshScale);
     report.config = primary.config();
     appendf(report.summary, "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
             static_cast<long long>(primary.meshRef().numElements()),
             schemeName(cfg.scheme).c_str(), primary.clustering().lambda,
             primary.clustering().theoreticalSpeedup);
-    addSetup(gts);
     addSetup(primary);
 
-    progressf(opts, "running GTS reference...\n");
-    const auto sg = gts.run(tEnd);
     progressf(opts, "running %s...\n", schemeName(cfg.scheme).c_str());
     report.stats = primary.run(tEnd);
     appendf(report.summary, "GTS: %.2f s wall;  %s: %.2f s wall  => measured speedup %.2fx\n",
             sg.seconds, schemeName(cfg.scheme).c_str(), report.stats.seconds,
             sg.seconds / report.stats.seconds);
+    compareReceivers(opts, cfg, tEnd, gts, primary, report);
+    return report;
+  }
 
+  /// Per-receiver misfit vs the GTS reference plus the CSV artifact; works
+  /// for both the shared-memory and the distributed primary simulation.
+  template <int W, typename PrimarySim>
+  void compareReceivers(const ScenarioOptions& opts, const solver::SimConfig& cfg, double tEnd,
+                        solver::Simulation<double, W>& gts, PrimarySim& primary,
+                        ScenarioReport& report) const {
     const idx_t samples = 400;
     std::vector<std::vector<double>> columns;
     for (idx_t r = 0; r < gts.numReceivers(); ++r) {
@@ -330,7 +444,6 @@ class Loh3Scenario final : public Scenario {
       writeTraceCsv(path, uniformTimes(tEnd, samples), columns, header);
       appendf(report.summary, "wrote %s\n", path.c_str());
     }
-    return report;
   }
 };
 
@@ -343,7 +456,8 @@ class LaHabraScenario final : public Scenario {
   std::string name() const override { return "lahabra"; }
   std::string description() const override {
     return "La Habra-like basin through the full preprocessing pipeline, then "
-           "a distributed LTS run with face-local compression";
+           "a distributed run (any scheme, fused widths 1|8|16) with "
+           "face-local compression";
   }
 
   solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
@@ -353,16 +467,25 @@ class LaHabraScenario final : public Scenario {
     cfg.scheme = solver::TimeScheme::kLtsNextGen;
     cfg.numClusters = 5;
     cfg.autoLambda = true;
+    cfg.sparseKernels = opts.fusedWidth.value_or(1) > 1; // fused => all-sparse kernels
     applyOverrides(cfg, opts);
-    resolveWidth(opts, 1, {1}, "lahabra"); // DistributedSimulation is W = 1
-    if (cfg.scheme == solver::TimeScheme::kLtsBaseline)
-      throw std::invalid_argument("scenario 'lahabra' supports schemes gts | lts");
+    resolveWidth(opts, 1, {1, 8, 16}, "lahabra");
     // GTS in the distributed driver is LTS with a single cluster.
     if (cfg.scheme == solver::TimeScheme::kGts) cfg.numClusters = 1;
     return cfg;
   }
 
   ScenarioReport run(const ScenarioOptions& opts) const override {
+    switch (resolveWidth(opts, 1, {1, 8, 16}, "lahabra")) {
+      case 8: return runW<8>(opts);
+      case 16: return runW<16>(opts);
+      default: return runW<1>(opts);
+    }
+  }
+
+ private:
+  template <int W>
+  ScenarioReport runW(const ScenarioOptions& opts) const {
     const solver::SimConfig cfg = resolveConfig(opts);
 
     seismo::LaHabraLikeModel::Params params;
@@ -381,9 +504,9 @@ class LaHabraScenario final : public Scenario {
     pcfg.mechanisms = cfg.mechanisms;
     pcfg.cfl = cfg.cfl;
     pcfg.numClusters = cfg.numClusters;
-    pcfg.autoLambda = cfg.autoLambda;
+    pcfg.autoLambda = cfg.autoLambda && cfg.scheme != solver::TimeScheme::kGts;
     pcfg.lambda = cfg.lambda;
-    pcfg.numPartitions = 4;
+    pcfg.numPartitions = opts.ranks.value_or(4);
 
     progressf(opts, "running preprocessing pipeline...\n");
     pre::PipelineResult pipe = pre::runPipeline(model, pcfg);
@@ -395,14 +518,10 @@ class LaHabraScenario final : public Scenario {
     report.summary += '\n';
 
     parallel::DistConfig dcfg;
-    dcfg.order = cfg.order;
-    dcfg.mechanisms = cfg.mechanisms;
-    dcfg.cfl = cfg.cfl;
-    dcfg.numClusters = cfg.numClusters;
-    dcfg.lambda = pipe.clustering.lambda;
+    dcfg.sim = report.config;
     dcfg.compressFaces = true;
     dcfg.threaded = true;
-    parallel::DistributedSimulation<float, 1> sim(pipe.mesh, pipe.materials, pipe.parts.part,
+    parallel::DistributedSimulation<float, W> sim(pipe.mesh, pipe.materials, pipe.parts.part,
                                                   dcfg);
     sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
       for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
@@ -411,17 +530,16 @@ class LaHabraScenario final : public Scenario {
                         (x[2] + 3000.0) * (x[2] + 3000.0);
       q9[kVelW] = std::exp(-r2 / 1.2e6);
     });
-    progressf(opts, "running distributed simulation on %d ranks...\n", sim.ranks());
+    progressf(opts, "running distributed %s x%d simulation on %d ranks...\n",
+              schemeName(cfg.scheme).c_str(), W, sim.ranks());
     const double tEnd = opts.endTime.value_or(6.0 * sim.cycleDt());
     const auto st = sim.run(tEnd);
-    report.stats.seconds = st.seconds;
-    report.stats.simulatedTime = st.simulatedTime;
-    report.stats.cycles = st.cycles;
-    report.stats.elementUpdates = st.elementUpdates;
+    report.stats = toPerfStats(st);
     appendf(report.summary,
-            "distributed run: %d ranks, %llu cycles, %.2f s wall, %.3g element updates/s\n",
-            sim.ranks(), static_cast<unsigned long long>(st.cycles), st.seconds,
-            static_cast<double>(st.elementUpdates) / st.seconds);
+            "distributed run: %d ranks, fused x%d, %llu cycles, %.2f s wall, "
+            "%.3g element updates/s, %.1f GFLOPS\n",
+            sim.ranks(), W, static_cast<unsigned long long>(st.cycles), st.seconds,
+            static_cast<double>(st.elementUpdates) / st.seconds, report.stats.gflops());
     appendf(report.summary,
             "communication: %.2f MB in %llu messages (face-local compression on)\n",
             st.commBytes / 1e6, static_cast<unsigned long long>(st.messages));

@@ -1,55 +1,71 @@
 #pragma once
-// Distributed-memory execution of the next-generation LTS scheme
-// (paper Sec. V-C): the mesh is partitioned; every rank owns its elements'
-// DOFs and buffers, and face data crossing a partition boundary travels
-// through the message-passing layer — either as the raw 9 x B elastic
-// buffer or as the compressed, face-local 9 x F representation (the
-// sender performs the neighboring-flux-matrix product).
+// Distributed-memory execution of the LTS schemes (paper Sec. V-C) as a
+// thin layer over the layered solver engine: the mesh is partitioned, every
+// rank owns a `SolverState` arena built over its halo view (owned elements
+// cluster-contiguous, halo copies appended after the owned ranges) and runs
+// the same flattened LTS schedule through a `StepExecutor` whose
+// neighbor-data policy is decorated by `HaloNeighborData` — owned faces read
+// the arena, cross-boundary faces read ghost slots filled from the
+// message-passing layer. All three neighbor-data schemes (GTS, the
+// next-generation three-buffer scheme, the buffer+derivative baseline of
+// [15]) and fused ensembles W > 1 run through the same engine as the
+// single-process `Simulation`, producing bitwise-identical results.
 //
-// Each rank executes the same flattened LTS schedule. Messages per
-// cross-boundary face and window:
-//   equal clusters     : P(B1)                  once per owner step,
-//   owner larger       : P(B2), P(B1 - B2)      once per owner step,
-//   owner smaller      : P(B3)                  after odd owner steps.
-// FIFO per (face, direction) channel preserves consumption order.
+// Messages per cross-boundary face and producer step (next-gen / GTS;
+// payloads are raw 9 x B buffers or, with `compressFaces`, face-local 9 x F
+// projections computed sender-side):
+//   consumer in equal cluster   : P(B1)            every producer step,
+//   consumer in larger cluster  : P(B3)            after odd producer steps,
+//   consumer in smaller cluster : P(B2), P(B1-B2)  one combined message per
+//                                                  producer step (serves the
+//                                                  consumer's two sub-steps).
+// The baseline scheme ships its trimmed elastic derivative stack to equal-
+// and smaller-cluster consumers and raw B3 to larger ones (compression does
+// not apply — consumers re-integrate the stack before the flux product).
+// FIFO per (src, dst, tag) channel preserves consumption order; the tag is
+// the producer's global element id * 4 + face.
 //
-// With SeqComm the ranks are interleaved deterministically on one thread
-// (results are bitwise reproducible); with ThreadComm each rank runs on its
-// own std::thread and receives block.
-#include <cstring>
+// With SeqComm the ranks execute each schedule op in deterministic lockstep
+// on one thread; with ThreadComm each rank runs on its own std::thread and
+// receives block. Both are bitwise-reproducible and bitwise-identical to
+// the single-rank `Simulation`: per-element updates are order-deterministic
+// regardless of threading, and every cross-rank payload carries exactly the
+// values the shared-memory policy would have read.
+#include <cstdint>
 #include <memory>
-#include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "kernels/ader_kernels.hpp"
-#include "kernels/kernel_setup.hpp"
 #include "lts/clustering.hpp"
 #include "lts/schedule.hpp"
 #include "mesh/geometry.hpp"
 #include "mesh/tet_mesh.hpp"
 #include "parallel/comm.hpp"
+#include "parallel/halo.hpp"
 #include "physics/material.hpp"
+#include "seismo/receiver.hpp"
+#include "seismo/source.hpp"
+#include "solver/config.hpp"
+#include "solver/seismo_hook.hpp"
 
 namespace nglts::parallel {
 
 struct DistConfig {
-  int_t order = 4;
-  int_t mechanisms = 0;
-  double cfl = 0.5;
-  bool sparseKernels = false;
-  int_t numClusters = 3;
-  double lambda = 1.0;
+  /// Solver configuration of every rank's engine — scheme, order,
+  /// mechanisms, clusters, fused kernels, cluster reordering, receiver
+  /// sampling: the full `SimConfig` surface of the shared-memory path.
+  solver::SimConfig sim;
   bool compressFaces = true; ///< ship 9 x F instead of 9 x B (Sec. V-C)
-  bool threaded = false;     ///< ThreadComm instead of SeqComm
+  bool threaded = false;     ///< ThreadComm rank threads instead of SeqComm lockstep
 };
 
 struct DistStats {
   double seconds = 0.0;
   double simulatedTime = 0.0;
   std::uint64_t cycles = 0;
-  std::uint64_t elementUpdates = 0;
+  std::uint64_t elementUpdates = 0; ///< per fused lane
+  std::uint64_t flops = 0;          ///< useful ops of the rank engines (all lanes)
   std::uint64_t commBytes = 0;
   std::uint64_t messages = 0;
 };
@@ -57,61 +73,71 @@ struct DistStats {
 template <typename Real, int W>
 class DistributedSimulation {
  public:
-  using InitFn =
-      std::function<void(const std::array<double, 3>& x, int_t lane, double* q9)>;
+  using InitFn = solver::InitialConditionFn;
 
+  /// `partition` maps every global element to a rank in [0, max(part) + 1).
+  /// Throws `std::invalid_argument` if the partition is empty, has negative
+  /// entries, or leaves any rank without elements (an empty rank would
+  /// deadlock ThreadComm and break the lockstep schedule).
   DistributedSimulation(mesh::TetMesh mesh, std::vector<physics::Material> materials,
                         std::vector<int_t> partition, DistConfig config);
+  ~DistributedSimulation();
 
+  DistributedSimulation(const DistributedSimulation&) = delete;
+  DistributedSimulation& operator=(const DistributedSimulation&) = delete;
+
+  const DistConfig& config() const { return cfg_; }
   const lts::Clustering& clustering() const { return clustering_; }
   double cycleDt() const { return clustering_.clusterDt.back(); }
   int_t ranks() const { return numRanks_; }
 
   void setInitialCondition(const InitFn& f);
 
+  /// Register a point source on the owning rank (located on the global
+  /// mesh); `laneScale` as in `Simulation::addPointSource`.
+  void addPointSource(const seismo::PointSource& src, std::vector<double> laneScale = {});
+
+  /// Register a receiver on the owning rank; returns its global index or
+  /// -1 if the point lies outside the mesh.
+  idx_t addReceiver(const std::array<double, 3>& position);
+  /// Bounds-checked receiver access; throws `std::out_of_range`.
+  const seismo::Receiver& receiver(idx_t i) const;
+  idx_t numReceivers() const { return static_cast<idx_t>(receiverHome_.size()); }
+
+  /// Advance by full LTS cycles until at least `endTime` is covered.
   DistStats run(double endTime);
 
-  const Real* dofs(idx_t element) const { return &q_[element * elSize()]; }
+  /// DOF access by global external element id (reads the owning rank's
+  /// arena).
+  const Real* dofs(idx_t element) const;
 
  private:
+  struct Rank;
+
+  void buildRank(int_t r);
+  void stepOp(Rank& rank, const lts::ScheduleOp& op);
+  void packAndSend(Rank& rank, int_t cluster);
+  void receiveHalo(Rank& rank, int_t cluster);
+
   DistConfig cfg_;
-  mesh::TetMesh mesh_;
-  std::vector<physics::Material> materials_;
+  mesh::TetMesh mesh_;                        ///< global external order
+  std::vector<physics::Material> materials_;  ///< global external order
   std::vector<int_t> part_;
   int_t numRanks_ = 1;
-  std::vector<mesh::ElementGeometry> geo_;
-  lts::Clustering clustering_;
+  std::vector<mesh::ElementGeometry> geo_;    ///< global external order
+  lts::Clustering clustering_;                ///< global
   std::vector<lts::ScheduleOp> schedule_;
-  /// [rank][cluster] -> owned elements.
-  std::vector<std::vector<std::vector<idx_t>>> rankClusterElems_;
-  std::vector<idx_t> clusterStep_; // shared step counters (identical per rank)
 
   std::unique_ptr<kernels::AderKernels<Real, W>> kernels_;
-  std::vector<kernels::ElementData<Real>> elementData_;
   std::unique_ptr<Communicator> comm_;
-
-  aligned_vector<Real> q_, b1_, b2_, b3_;
-  /// Ghost storage per cross-rank face (keyed el * 4 + f): two datasets.
-  std::vector<std::array<std::vector<Real>, 2>> ghost_;
-  std::vector<idx_t> ghostSlot_; ///< el*4+f -> ghost index or -1
-  std::uint64_t messages_ = 0;
-
-  std::size_t elSize() const { return kernels_->dofsPerElement(); }
-  std::size_t bufSize() const { return kernels_->elasticDofsPerElement(); }
-
-  std::int64_t faceTag(idx_t el, int_t face) const { return el * 4 + face; }
-
-  void localPhase(int_t rank, int_t cluster,
-                  typename kernels::AderKernels<Real, W>::Scratch& s);
-  void neighborPhase(int_t rank, int_t cluster,
-                     typename kernels::AderKernels<Real, W>::Scratch& s);
-  void sendFaceData(idx_t el, int_t face, idx_t step,
-                    typename kernels::AderKernels<Real, W>::Scratch& s);
-  std::vector<std::uint8_t> packPayload(const Real* data, std::size_t n) const;
-  void unpackPayload(const std::vector<std::uint8_t>& raw, std::vector<Real>& out) const;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<std::pair<int_t, idx_t>> receiverHome_; ///< global idx -> (rank, local idx)
 };
 
 extern template class DistributedSimulation<float, 1>;
+extern template class DistributedSimulation<float, 8>;
+extern template class DistributedSimulation<float, 16>;
 extern template class DistributedSimulation<double, 1>;
+extern template class DistributedSimulation<double, 2>;
 
 } // namespace nglts::parallel

@@ -1,16 +1,75 @@
+// DistributedSimulation: the distributed LTS path on the layered solver
+// engine (see dist_sim.hpp). This file owns the glue the engine does not:
+// per-rank construction over halo views, the send/receive protocol packing
+// (raw 9 x B vs face-local 9 x F, trimmed derivative stacks for the baseline
+// scheme) interleaved between schedule ops, and the SeqComm lockstep /
+// ThreadComm per-rank-thread drivers. The element stepping itself is the
+// shared `StepExecutor` — there is no duplicated update loop here.
 #include "parallel/dist_sim.hpp"
 
-#include <atomic>
-#include <cmath>
-#include <stdexcept>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
-#include "basis/quadrature.hpp"
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "solver/executor.hpp"
+#include "solver/setup.hpp"
+#include "solver/state.hpp"
 
 namespace nglts::parallel {
 
 namespace {
-std::atomic<std::uint64_t> g_msgCounter{0};
+
+template <typename Real>
+void appendReals(std::vector<std::uint8_t>& out, const Real* p, std::size_t n) {
+  const std::size_t off = out.size();
+  out.resize(off + n * sizeof(Real));
+  std::memcpy(out.data() + off, p, n * sizeof(Real));
 }
+
+template <typename Real>
+void readReals(const std::vector<std::uint8_t>& raw, std::size_t& off, Real* p,
+               std::size_t n) {
+  if (off + n * sizeof(Real) > raw.size())
+    throw std::runtime_error("DistributedSimulation: truncated message payload");
+  std::memcpy(p, raw.data() + off, n * sizeof(Real));
+  off += n * sizeof(Real);
+}
+
+} // namespace
+
+/// Per-rank engine: halo view, arena, hook, executor, ghost slots and the
+/// per-cluster send/receive lists derived from the cross-rank faces.
+template <typename Real, int W>
+struct DistributedSimulation<Real, W>::Rank {
+  int_t id = 0;
+  HaloView view;
+  std::unique_ptr<solver::SolverState<Real, W>> state;
+  std::unique_ptr<solver::SeismoHook<Real, W>> hook;
+  std::unique_ptr<solver::StepExecutor<Real, W>> exec;
+  HaloGhosts<Real> ghosts;
+
+  struct SendOp {
+    idx_t el = 0;       ///< internal id of the owned producer element
+    int_t face = 0;     ///< producer's local face
+    HaloRelation rel = HaloRelation::kEqual; ///< consumer's cluster vs producer's
+    int_t dstRank = 0;
+    int_t recvPerm = 0; ///< consumer-side orientation (sender compression)
+    std::int64_t tag = 0;
+  };
+  std::vector<std::vector<SendOp>> sendByCluster;
+  std::vector<std::vector<idx_t>> recvByCluster; ///< ghost slot ids
+  std::uint64_t messages = 0;
+
+  // Serial packing staging (one producer face at a time).
+  aligned_vector<Real> combo, face0, face1;
+};
 
 template <typename Real, int W>
 DistributedSimulation<Real, W>::DistributedSimulation(mesh::TetMesh mesh,
@@ -21,231 +80,294 @@ DistributedSimulation<Real, W>::DistributedSimulation(mesh::TetMesh mesh,
       mesh_(std::move(mesh)),
       materials_(std::move(materials)),
       part_(std::move(partition)) {
+  solver::validateSimConfig(cfg_.sim);
+  if (mesh_.faces.empty())
+    throw std::runtime_error("DistributedSimulation: mesh connectivity not built");
+  if (static_cast<idx_t>(materials_.size()) != mesh_.numElements())
+    throw std::runtime_error("DistributedSimulation: one material per element required");
+  if (static_cast<idx_t>(part_.size()) != mesh_.numElements())
+    throw std::invalid_argument("DistributedSimulation: partition size != element count");
+
   numRanks_ = 0;
-  for (int_t p : part_) numRanks_ = std::max(numRanks_, p + 1);
-  if (numRanks_ < 1) throw std::runtime_error("DistributedSimulation: empty partition");
+  for (int_t p : part_) {
+    if (p < 0) throw std::invalid_argument("DistributedSimulation: negative rank in partition");
+    numRanks_ = std::max(numRanks_, p + 1);
+  }
+  if (numRanks_ < 1) throw std::invalid_argument("DistributedSimulation: empty partition");
+  // Every rank in [0, numRanks_) must own at least one element: an empty
+  // rank would break the lockstep schedule and deadlock ThreadComm.
+  std::vector<idx_t> ownedCount(numRanks_, 0);
+  for (int_t p : part_) ++ownedCount[p];
+  for (int_t r = 0; r < numRanks_; ++r)
+    if (ownedCount[r] == 0)
+      throw std::invalid_argument("DistributedSimulation: rank " + std::to_string(r) +
+                                  " of " + std::to_string(numRanks_) +
+                                  " owns no elements (every rank needs work)");
 
+  // Global clustering and schedule through the same resolution helpers as
+  // the shared-memory Simulation, so both paths step the exact same
+  // clusters (the invariant behind the bitwise equivalence).
   geo_ = mesh::computeGeometry(mesh_);
-  const auto dtCfl = lts::cflTimeSteps(geo_, materials_, cfg_.order, cfg_.cfl);
-  clustering_ = lts::buildClustering(mesh_, dtCfl, cfg_.numClusters, cfg_.lambda);
-  schedule_ = lts::buildSchedule(cfg_.numClusters);
-  lts::checkSchedule(schedule_, cfg_.numClusters);
+  const std::vector<double> dtCfl =
+      lts::cflTimeSteps(geo_, materials_, cfg_.sim.order, cfg_.sim.cfl);
+  clustering_ = solver::resolveClustering(mesh_, dtCfl, cfg_.sim);
+  schedule_ = lts::buildSchedule(clustering_.numClusters);
+  lts::checkSchedule(schedule_, clustering_.numClusters);
 
-  rankClusterElems_.assign(numRanks_,
-                           std::vector<std::vector<idx_t>>(cfg_.numClusters));
-  for (idx_t e = 0; e < mesh_.numElements(); ++e)
-    rankClusterElems_[part_[e]][clustering_.cluster[e]].push_back(e);
-  clusterStep_.assign(static_cast<std::size_t>(numRanks_) * cfg_.numClusters, 0);
-
-  std::vector<double> omega;
-  if (cfg_.mechanisms > 0) {
-    for (const auto& m : materials_)
-      if (m.mechanisms() >= cfg_.mechanisms) {
-        omega.assign(m.omega.begin(), m.omega.begin() + cfg_.mechanisms);
-        break;
-      }
-  }
-  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
-                                                             cfg_.sparseKernels, omega);
-  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo_, materials_, cfg_.mechanisms);
-
-  const idx_t k = mesh_.numElements();
-  q_.assign(k * elSize(), Real(0));
-  b1_.assign(k * bufSize(), Real(0));
-  if (cfg_.numClusters > 1) {
-    b2_.assign(k * bufSize(), Real(0));
-    b3_.assign(k * bufSize(), Real(0));
-  }
-
-  ghostSlot_.assign(k * 4, -1);
-  for (idx_t e = 0; e < k; ++e)
-    for (int_t f = 0; f < 4; ++f) {
-      const auto& fi = mesh_.faces[e][f];
-      if (fi.neighbor >= 0 && part_[fi.neighbor] != part_[e]) {
-        ghostSlot_[e * 4 + f] = static_cast<idx_t>(ghost_.size());
-        ghost_.emplace_back();
-      }
-    }
+  const std::vector<double> omega = solver::resolveOmega(materials_, cfg_.sim.mechanisms);
+  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(
+      cfg_.sim.order, cfg_.sim.mechanisms, cfg_.sim.sparseKernels, omega);
 
   if (cfg_.threaded)
     comm_ = std::make_unique<ThreadComm>(numRanks_);
   else
     comm_ = std::make_unique<SeqComm>(numRanks_);
+
+  ranks_.reserve(numRanks_);
+  for (int_t r = 0; r < numRanks_; ++r) buildRank(r);
+}
+
+template <typename Real, int W>
+DistributedSimulation<Real, W>::~DistributedSimulation() = default;
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::buildRank(int_t r) {
+  auto rank = std::make_unique<Rank>();
+  rank->id = r;
+  rank->view = buildHaloView(mesh_, geo_, materials_, clustering_, part_, r);
+  const HaloView& view = rank->view;
+
+  rank->state = std::make_unique<solver::SolverState<Real, W>>(
+      view.mesh, view.materials, view.geo, view.clustering, *kernels_, cfg_.sim,
+      view.numOwned);
+  const double recDt =
+      cfg_.sim.receiverSampleDt > 0.0 ? cfg_.sim.receiverSampleDt : clustering_.dtMin;
+  rank->hook = std::make_unique<solver::SeismoHook<Real, W>>(
+      view.mesh, view.geo, view.materials, *kernels_, *rank->state, recDt);
+
+  // Ghost slots + send/receive lists from the cross-rank faces. One scan of
+  // the owned elements covers each cross face once in both roles: the owned
+  // element consumes the remote buffers (receive slot) and produces for the
+  // remote consumer (send op) through the same geometric face.
+  const solver::SolverState<Real, W>& state = *rank->state;
+  const int_t nc = clustering_.numClusters;
+  const bool baseline = cfg_.sim.scheme == solver::TimeScheme::kLtsBaseline;
+  const std::size_t bufN = kernels_->elasticDofsPerElement();
+  const std::size_t faceN = kernels_->faceDataSize();
+  const std::size_t stackN = static_cast<std::size_t>(kernels_->order()) * bufN;
+  const std::size_t dataN = cfg_.compressFaces && !baseline ? faceN : bufN;
+
+  rank->sendByCluster.assign(nc, {});
+  rank->recvByCluster.assign(nc, {});
+  rank->ghosts.slotOf.assign(static_cast<std::size_t>(state.numHalo()) * 4, -1);
+  for (idx_t le = 0; le < view.numOwned; ++le) {
+    const int_t cMe = view.clustering.cluster[le];
+    for (int_t f = 0; f < 4; ++f) {
+      const mesh::FaceInfo& fi = view.mesh.faces[le][f];
+      if (fi.neighbor < view.numOwned) continue; // boundary or same-rank face
+      const idx_t gNb = view.localToGlobal[fi.neighbor];
+      const int_t cNb = view.clustering.cluster[fi.neighbor];
+
+      // Receive slot: the owned element consumes the remote element's data.
+      GhostSlot<Real> slot;
+      slot.rel = cNb == cMe ? HaloRelation::kEqual
+                            : (cNb < cMe ? HaloRelation::kRemoteSmaller
+                                         : HaloRelation::kRemoteLarger);
+      slot.srcRank = part_[gNb];
+      slot.tag = gNb * 4 + fi.neighborFace;
+      if (baseline) {
+        slot.ds0.assign(slot.rel == HaloRelation::kRemoteSmaller ? bufN : stackN, Real(0));
+      } else {
+        slot.ds0.assign(dataN, Real(0));
+        if (slot.rel == HaloRelation::kRemoteLarger) slot.ds1.assign(dataN, Real(0));
+      }
+      const idx_t haloInternal = state.toInternal(fi.neighbor);
+      rank->ghosts.slotOf[(haloInternal - state.numOwned()) * 4 + fi.neighborFace] =
+          static_cast<idx_t>(rank->ghosts.slots.size());
+      rank->recvByCluster[cMe].push_back(static_cast<idx_t>(rank->ghosts.slots.size()));
+      rank->ghosts.slots.push_back(std::move(slot));
+
+      // Send op: the owned element produces for the remote consumer.
+      typename Rank::SendOp op;
+      op.el = state.toInternal(le);
+      op.face = f;
+      op.rel = cNb == cMe ? HaloRelation::kEqual
+                          : (cNb > cMe ? HaloRelation::kRemoteLarger
+                                       : HaloRelation::kRemoteSmaller);
+      op.dstRank = part_[gNb];
+      op.recvPerm = view.mesh.faces[fi.neighbor][fi.neighborFace].perm;
+      op.tag = view.localToGlobal[le] * 4 + f;
+      rank->sendByCluster[cMe].push_back(op);
+    }
+  }
+  rank->combo.assign(bufN, Real(0));
+  rank->face0.assign(faceN, Real(0));
+  rank->face1.assign(faceN, Real(0));
+
+  auto inner = solver::makeNeighborDataPolicy<Real, W>(cfg_.sim, *rank->state, *kernels_,
+                                                       clustering_.clusterDt);
+  auto policy = std::make_unique<HaloNeighborData<Real, W>>(
+      std::move(inner), *rank->state, *kernels_, cfg_.sim.scheme, cfg_.compressFaces,
+      clustering_.clusterDt, &rank->ghosts);
+  rank->exec = std::make_unique<solver::StepExecutor<Real, W>>(
+      cfg_.sim, *kernels_, *rank->state, view.clustering, schedule_, rank->hook.get(),
+      std::move(policy));
+  ranks_.push_back(std::move(rank));
 }
 
 template <typename Real, int W>
 void DistributedSimulation<Real, W>::setInitialCondition(const InitFn& f) {
-  const auto quad = basis::tetQuadrature(cfg_.order + 2);
-  const auto& tet = *kernels_->globalMatrices().tet;
-  const int_t nb = kernels_->numBasis();
-#pragma omp parallel for schedule(static)
-  for (idx_t el = 0; el < mesh_.numElements(); ++el) {
-    Real* q = &q_[el * elSize()];
-    linalg::zeroBlock(q, elSize());
-    const auto& v0 = mesh_.vertices[mesh_.elements[el][0]];
-    for (const auto& qp : quad) {
-      std::array<double, 3> x = v0;
-      for (int_t r = 0; r < 3; ++r)
-        for (int_t c = 0; c < 3; ++c) x[r] += geo_[el].jac[r][c] * qp.xi[c];
-      const auto phi = tet.evalAll(qp.xi);
-      for (int_t lane = 0; lane < W; ++lane) {
-        double q9[kElasticVars];
-        f(x, lane, q9);
-        for (int_t v = 0; v < kElasticVars; ++v)
-          for (int_t b = 0; b < nb; ++b)
-            q[(static_cast<std::size_t>(v) * nb + b) * W + lane] +=
-                static_cast<Real>(qp.weight * q9[v] * phi[b]);
-      }
-    }
-  }
+  for (auto& rank : ranks_)
+    solver::projectInitialCondition(*kernels_, rank->view.mesh, rank->view.geo, f,
+                                    *rank->state, rank->view.numOwned);
 }
 
 template <typename Real, int W>
-std::vector<std::uint8_t> DistributedSimulation<Real, W>::packPayload(const Real* data,
-                                                                      std::size_t n) const {
-  std::vector<std::uint8_t> raw(n * sizeof(Real));
-  std::memcpy(raw.data(), data, raw.size());
-  return raw;
+void DistributedSimulation<Real, W>::addPointSource(const seismo::PointSource& src,
+                                                    std::vector<double> laneScale) {
+  const idx_t el = mesh::locatePoint(mesh_, geo_, src.position);
+  if (el < 0) throw std::runtime_error("addPointSource: source outside the mesh");
+  Rank& rank = *ranks_[part_[el]];
+  rank.hook->addPointSource(rank.view.globalToLocal[el], src, std::move(laneScale));
 }
 
 template <typename Real, int W>
-void DistributedSimulation<Real, W>::unpackPayload(const std::vector<std::uint8_t>& raw,
-                                                   std::vector<Real>& out) const {
-  out.resize(raw.size() / sizeof(Real));
-  std::memcpy(out.data(), raw.data(), raw.size());
+idx_t DistributedSimulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
+  const idx_t el = mesh::locatePoint(mesh_, geo_, position);
+  if (el < 0) return -1;
+  Rank& rank = *ranks_[part_[el]];
+  const idx_t local = rank.hook->addReceiver(rank.view.globalToLocal[el], position);
+  receiverHome_.emplace_back(part_[el], local);
+  return static_cast<idx_t>(receiverHome_.size()) - 1;
 }
 
 template <typename Real, int W>
-void DistributedSimulation<Real, W>::sendFaceData(
-    idx_t el, int_t face, idx_t step, typename kernels::AderKernels<Real, W>::Scratch& s) {
-  const auto& fi = mesh_.faces[el][face];
-  const int_t cMe = clustering_.cluster[el];
-  const int_t cNb = clustering_.cluster[fi.neighbor];
+const seismo::Receiver& DistributedSimulation<Real, W>::receiver(idx_t i) const {
+  if (i < 0 || i >= static_cast<idx_t>(receiverHome_.size()))
+    throw std::out_of_range("receiver: index " + std::to_string(i) + " out of range (have " +
+                            std::to_string(receiverHome_.size()) + ")");
+  const auto& [rank, local] = receiverHome_[i];
+  return ranks_[rank]->hook->receiver(local);
+}
+
+template <typename Real, int W>
+const Real* DistributedSimulation<Real, W>::dofs(idx_t element) const {
+  const Rank& rank = *ranks_[part_[element]];
+  return rank.state->q(rank.state->toInternal(rank.view.globalToLocal[element]));
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::packAndSend(Rank& rank, int_t cluster) {
+  const idx_t step = rank.exec->clusterStep(cluster);
+  const bool baseline = cfg_.sim.scheme == solver::TimeScheme::kLtsBaseline;
+  const solver::SolverState<Real, W>& state = *rank.state;
+  const std::size_t bufN = kernels_->elasticDofsPerElement();
   const std::size_t faceN = kernels_->faceDataSize();
-  const std::size_t bufN = bufSize();
-  const Real* b1 = &b1_[el * bufSize()];
+  const int_t order = kernels_->order();
+  const int_t nb = kernels_->numBasis();
+  const bool anel = kernels_->mechanisms() > 0;
+  const std::size_t nbW = static_cast<std::size_t>(nb) * W;
 
-  // Receiver-side neighbor flux matrix selector: the receiver's own face
-  // orientation permutation (sender-side compression, Sec. V-C).
-  const int_t recvPerm = mesh_.faces[fi.neighbor][fi.neighborFace].perm;
+  for (const typename Rank::SendOp& op : rank.sendByCluster[cluster]) {
+    // A larger-cluster consumer reads the B3 window accumulator (or the raw
+    // B3 of the baseline scheme), complete only after odd producer steps.
+    if (op.rel == HaloRelation::kRemoteLarger && step % 2 == 0) continue;
 
-  auto shipOne = [&](const Real* data) {
     std::vector<std::uint8_t> payload;
-    if (cfg_.compressFaces) {
-      kernels_->compressBuffer(face, recvPerm, data, s.faceProj.data());
-      payload = packPayload(s.faceProj.data(), faceN);
-    } else {
-      payload = packPayload(data, bufN);
-    }
-    comm_->send(part_[el], part_[fi.neighbor], faceTag(el, face), std::move(payload));
-    ++g_msgCounter;
-  };
-
-  if (cNb == cMe) {
-    shipOne(b1);
-  } else if (cNb < cMe) {
-    // Smaller neighbor: ship B2 and B1 - B2 in one message.
-    const Real* b2 = &b2_[el * bufSize()];
-    std::vector<Real> both(2 * (cfg_.compressFaces ? faceN : bufN));
-    Real* combo = s.bufCombo.data();
-#pragma omp simd
-    for (std::size_t i = 0; i < bufN; ++i) combo[i] = b1[i] - b2[i];
-    if (cfg_.compressFaces) {
-      kernels_->compressBuffer(face, recvPerm, b2, both.data());
-      kernels_->compressBuffer(face, recvPerm, combo, both.data() + faceN);
-    } else {
-      linalg::copyBlock(both.data(), b2, bufN);
-      linalg::copyBlock(both.data() + bufN, combo, bufN);
-    }
-    comm_->send(part_[el], part_[fi.neighbor], faceTag(el, face),
-                packPayload(both.data(), both.size()));
-    ++g_msgCounter;
-  } else {
-    // Larger neighbor: B3 is complete after odd steps only.
-    if (step % 2 == 1) shipOne(&b3_[el * bufSize()]);
-  }
-}
-
-template <typename Real, int W>
-void DistributedSimulation<Real, W>::localPhase(
-    int_t rank, int_t cluster, typename kernels::AderKernels<Real, W>::Scratch& s) {
-  const double dt = clustering_.clusterDt[cluster];
-  const idx_t step = clusterStep_[static_cast<std::size_t>(rank) * cfg_.numClusters + cluster];
-  const bool odd = (step % 2) != 0;
-  for (idx_t el : rankClusterElems_[rank][cluster]) {
-    Real* q = &q_[el * elSize()];
-    Real* b1 = &b1_[el * bufSize()];
-    Real* b2 = b2_.empty() ? nullptr : &b2_[el * bufSize()];
-    Real* b3 = b3_.empty() ? nullptr : &b3_[el * bufSize()];
-    kernels_->timePredict(elementData_[el], q, static_cast<Real>(dt), s.timeInt.data(), b1, b2,
-                          b3, odd, s);
-    kernels_->volumeAndLocalSurface(elementData_[el], s.timeInt.data(), q, s);
-    for (int_t f = 0; f < 4; ++f)
-      if (ghostSlot_[el * 4 + f] >= 0) sendFaceData(el, f, step, s);
-  }
-}
-
-template <typename Real, int W>
-void DistributedSimulation<Real, W>::neighborPhase(
-    int_t rank, int_t cluster, typename kernels::AderKernels<Real, W>::Scratch& s) {
-  idx_t& step = clusterStep_[static_cast<std::size_t>(rank) * cfg_.numClusters + cluster];
-  for (idx_t el : rankClusterElems_[rank][cluster]) {
-    Real* q = &q_[el * elSize()];
-    for (int_t f = 0; f < 4; ++f) {
-      const auto& fi = mesh_.faces[el][f];
-      if (fi.neighbor < 0) continue;
-      const int_t cNb = clustering_.cluster[fi.neighbor];
-      const idx_t slot = ghostSlot_[el * 4 + f];
-      if (slot < 0) {
-        // Same-rank face: read the neighbor's buffers directly.
-        const Real* data = nullptr;
-        if (cNb == cluster) {
-          data = &b1_[fi.neighbor * bufSize()];
-        } else if (cNb < cluster) {
-          data = &b3_[fi.neighbor * bufSize()];
-        } else if (step % 2 == 0) {
-          data = &b2_[fi.neighbor * bufSize()];
-        } else {
-          const Real* nb1 = &b1_[fi.neighbor * bufSize()];
-          const Real* nb2 = &b2_[fi.neighbor * bufSize()];
-          Real* combo = s.bufCombo.data();
-#pragma omp simd
-          for (std::size_t i = 0; i < bufSize(); ++i) combo[i] = nb1[i] - nb2[i];
-          data = combo;
-        }
-        kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm, data, q, s);
-        continue;
-      }
-      // Cross-rank face.
-      auto& gh = ghost_[slot];
-      const std::int64_t tag = faceTag(fi.neighbor, fi.neighborFace);
-      const std::size_t faceN = kernels_->faceDataSize();
-      const std::size_t dataN = cfg_.compressFaces ? faceN : bufSize();
-      const Real* data = nullptr;
-      if (cNb == cluster || cNb < cluster) {
-        std::vector<Real> tmp;
-        unpackPayload(comm_->recv(part_[el], part_[fi.neighbor], tag), tmp);
-        gh[0].assign(tmp.begin(), tmp.end());
-        data = gh[0].data();
+    if (baseline) {
+      if (op.rel == HaloRelation::kRemoteLarger) {
+        appendReals(payload, state.b3(op.el), bufN);
       } else {
-        if (step % 2 == 0) {
-          std::vector<Real> tmp;
-          unpackPayload(comm_->recv(part_[el], part_[fi.neighbor], tag), tmp);
-          gh[0].assign(tmp.begin(), tmp.begin() + dataN);
-          gh[1].assign(tmp.begin() + dataN, tmp.end());
-          data = gh[0].data();
-        } else {
-          data = gh[1].data();
+        // Trimmed derivative stack: elastic runs truncate degree d to the
+        // vanishing-block width B(O - d) (the paper's payload accounting);
+        // anelastic runs keep full blocks. Lossless — the truncated tails
+        // are exact zeros in the producer's stack.
+        const Real* stack = state.derivStack(op.el);
+        for (int_t d = 0; d < order; ++d) {
+          const std::size_t wid = anel ? nb : numBasis3d(order - d);
+          for (int_t v = 0; v < kElasticVars; ++v)
+            appendReals(payload,
+                        stack + static_cast<std::size_t>(d) * bufN + v * nbW, wid * W);
         }
       }
-      if (cfg_.compressFaces)
-        kernels_->neighborContributionFaceLocal(elementData_[el], f, data, q, s);
-      else
-        kernels_->neighborContribution(elementData_[el], f, fi.neighborFace, fi.perm, data, q,
-                                       s);
+    } else if (op.rel == HaloRelation::kRemoteSmaller) {
+      // Smaller-cluster consumer: B2 and B1 - B2 in one combined message
+      // (its two sub-steps inside the producer's step).
+      const Real* b1 = state.b1(op.el);
+      const Real* b2 = state.b2(op.el);
+      Real* combo = rank.combo.data();
+#pragma omp simd
+      for (std::size_t i = 0; i < bufN; ++i) combo[i] = b1[i] - b2[i];
+      if (cfg_.compressFaces) {
+        kernels_->compressBuffer(op.face, op.recvPerm, b2, rank.face0.data());
+        kernels_->compressBuffer(op.face, op.recvPerm, combo, rank.face1.data());
+        appendReals(payload, rank.face0.data(), faceN);
+        appendReals(payload, rank.face1.data(), faceN);
+      } else {
+        appendReals(payload, b2, bufN);
+        appendReals(payload, combo, bufN);
+      }
+    } else {
+      // Equal cluster ships B1 every step; a larger consumer ships B3.
+      const Real* data =
+          op.rel == HaloRelation::kEqual ? state.b1(op.el) : state.b3(op.el);
+      if (cfg_.compressFaces) {
+        kernels_->compressBuffer(op.face, op.recvPerm, data, rank.face0.data());
+        appendReals(payload, rank.face0.data(), faceN);
+      } else {
+        appendReals(payload, data, bufN);
+      }
     }
+    comm_->send(rank.id, op.dstRank, op.tag, std::move(payload));
+    ++rank.messages;
   }
-  ++step;
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::receiveHalo(Rank& rank, int_t cluster) {
+  const idx_t step = rank.exec->clusterStep(cluster);
+  const bool baseline = cfg_.sim.scheme == solver::TimeScheme::kLtsBaseline;
+  const std::size_t bufN = kernels_->elasticDofsPerElement();
+  const int_t order = kernels_->order();
+  const int_t nb = kernels_->numBasis();
+  const bool anel = kernels_->mechanisms() > 0;
+  const std::size_t nbW = static_cast<std::size_t>(nb) * W;
+
+  for (idx_t si : rank.recvByCluster[cluster]) {
+    GhostSlot<Real>& g = rank.ghosts.slots[si];
+    // A larger remote producer sends once per its own step; the odd local
+    // sub-step reuses the datasets received on the even one.
+    if (g.rel == HaloRelation::kRemoteLarger && step % 2 == 1) continue;
+
+    const std::vector<std::uint8_t> raw = comm_->recv(rank.id, g.srcRank, g.tag);
+    std::size_t off = 0;
+    if (baseline && g.rel != HaloRelation::kRemoteSmaller) {
+      // Trimmed stack -> full stack layout (padding stays zero from setup).
+      for (int_t d = 0; d < order; ++d) {
+        const std::size_t wid = anel ? nb : numBasis3d(order - d);
+        for (int_t v = 0; v < kElasticVars; ++v)
+          readReals(raw, off, g.ds0.data() + static_cast<std::size_t>(d) * bufN + v * nbW,
+                    wid * W);
+      }
+    } else {
+      readReals(raw, off, g.ds0.data(), g.ds0.size());
+      if (g.rel == HaloRelation::kRemoteLarger)
+        readReals(raw, off, g.ds1.data(), g.ds1.size());
+    }
+    if (off != raw.size())
+      throw std::runtime_error("DistributedSimulation: unexpected message payload size");
+  }
+}
+
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::stepOp(Rank& rank, const lts::ScheduleOp& op) {
+  if (op.kind == lts::PhaseKind::kLocal) {
+    rank.exec->runOp(op);
+    packAndSend(rank, op.cluster);
+  } else {
+    receiveHalo(rank, op.cluster);
+    rank.exec->runOp(op);
+  }
 }
 
 template <typename Real, int W>
@@ -253,52 +375,67 @@ DistStats DistributedSimulation<Real, W>::run(double endTime) {
   DistStats stats;
   const double dtCycle = cycleDt();
   const std::uint64_t cycles = static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
-  const std::uint64_t msg0 = g_msgCounter.load();
   const std::uint64_t bytes0 = comm_->bytesSent();
+  std::uint64_t msg0 = 0;
+  for (auto& rank : ranks_) {
+    msg0 += rank->messages;
+    rank->exec->drainFlops(); // reset counters for this run
+  }
 
   std::uint64_t updatesPerCycle = 0;
-  for (int_t l = 0; l < cfg_.numClusters; ++l)
-    for (int_t r = 0; r < numRanks_; ++r)
-      updatesPerCycle +=
-          rankClusterElems_[r][l].size() * lts::stepsPerCycle(cfg_.numClusters, l);
+  for (int_t l = 0; l < clustering_.numClusters; ++l)
+    updatesPerCycle +=
+        clustering_.clusterSize[l] * lts::stepsPerCycle(clustering_.numClusters, l);
 
   Timer timer;
   if (!cfg_.threaded) {
-    auto scratch = kernels_->makeScratch();
+    // Deterministic lockstep: all ranks execute schedule op i before any
+    // rank starts op i+1 — every SeqComm receive then finds its message
+    // (the schedule's write-before-read guarantee, applied across ranks).
     for (std::uint64_t c = 0; c < cycles; ++c)
-      for (const auto& op : schedule_)
-        for (int_t r = 0; r < numRanks_; ++r) {
-          if (op.kind == lts::PhaseKind::kLocal)
-            localPhase(r, op.cluster, scratch);
-          else
-            neighborPhase(r, op.cluster, scratch);
-        }
+      for (const lts::ScheduleOp& op : schedule_)
+        for (auto& rank : ranks_) stepOp(*rank, op);
   } else {
+    // Split the cores between the rank threads; the executors' scratch
+    // pools were sized for the full team on the main thread, so any
+    // smaller per-rank team indexes them safely.
+    int threadsPerRank = 1;
+#ifdef _OPENMP
+    threadsPerRank = std::max(1, omp_get_max_threads() / numRanks_);
+#endif
     std::vector<std::thread> threads;
     threads.reserve(numRanks_);
-    for (int_t r = 0; r < numRanks_; ++r)
-      threads.emplace_back([this, r, cycles] {
-        auto scratch = kernels_->makeScratch();
+    for (auto& rankPtr : ranks_) {
+      Rank* rank = rankPtr.get();
+      threads.emplace_back([this, rank, cycles, threadsPerRank] {
+#ifdef _OPENMP
+        omp_set_num_threads(threadsPerRank);
+#else
+        (void)threadsPerRank;
+#endif
         for (std::uint64_t c = 0; c < cycles; ++c)
-          for (const auto& op : schedule_) {
-            if (op.kind == lts::PhaseKind::kLocal)
-              localPhase(r, op.cluster, scratch);
-            else
-              neighborPhase(r, op.cluster, scratch);
-          }
+          for (const lts::ScheduleOp& op : schedule_) stepOp(*rank, op);
       });
+    }
     for (auto& t : threads) t.join();
   }
   stats.seconds = timer.seconds();
   stats.cycles = cycles;
   stats.simulatedTime = cycles * dtCycle;
   stats.elementUpdates = cycles * updatesPerCycle;
+  for (auto& rank : ranks_) {
+    stats.flops += rank->exec->drainFlops();
+    stats.messages += rank->messages;
+  }
+  stats.messages -= msg0;
   stats.commBytes = comm_->bytesSent() - bytes0;
-  stats.messages = g_msgCounter.load() - msg0;
   return stats;
 }
 
 template class DistributedSimulation<float, 1>;
+template class DistributedSimulation<float, 8>;
+template class DistributedSimulation<float, 16>;
 template class DistributedSimulation<double, 1>;
+template class DistributedSimulation<double, 2>;
 
 } // namespace nglts::parallel

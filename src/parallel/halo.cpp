@@ -1,0 +1,79 @@
+#include "parallel/halo.hpp"
+
+#include <stdexcept>
+
+namespace nglts::parallel {
+
+HaloView buildHaloView(const mesh::TetMesh& globalMesh,
+                       const std::vector<mesh::ElementGeometry>& globalGeo,
+                       const std::vector<physics::Material>& globalMaterials,
+                       const lts::Clustering& globalClustering, const std::vector<int_t>& part,
+                       int_t rank) {
+  const idx_t n = globalMesh.numElements();
+  HaloView v;
+  v.globalToLocal.assign(n, -1);
+
+  // Owned elements in ascending global id (stable, deterministic).
+  for (idx_t e = 0; e < n; ++e)
+    if (part[e] == rank) {
+      v.globalToLocal[e] = static_cast<idx_t>(v.localToGlobal.size());
+      v.localToGlobal.push_back(e);
+    }
+  v.numOwned = static_cast<idx_t>(v.localToGlobal.size());
+  if (v.numOwned == 0) throw std::invalid_argument("buildHaloView: rank owns no elements");
+
+  // Halo: remote face-neighbors of owned elements, first-encounter order.
+  for (idx_t le = 0; le < v.numOwned; ++le) {
+    const idx_t ge = v.localToGlobal[le];
+    for (int_t f = 0; f < 4; ++f) {
+      const idx_t gn = globalMesh.faces[ge][f].neighbor;
+      if (gn >= 0 && part[gn] != rank && v.globalToLocal[gn] < 0) {
+        v.globalToLocal[gn] = static_cast<idx_t>(v.localToGlobal.size());
+        v.localToGlobal.push_back(gn);
+      }
+    }
+  }
+
+  const idx_t total = static_cast<idx_t>(v.localToGlobal.size());
+  // Vertices are shared wholesale (element connectivity keeps global vertex
+  // ids) — compaction would buy little for in-process ranks and complicate
+  // every id map.
+  v.mesh.vertices = globalMesh.vertices;
+  v.mesh.elements.resize(total);
+  v.mesh.faces.resize(total);
+  v.materials.resize(total);
+  v.geo.resize(total);
+  for (idx_t le = 0; le < total; ++le) {
+    const idx_t ge = v.localToGlobal[le];
+    v.mesh.elements[le] = globalMesh.elements[ge];
+    v.mesh.faces[le] = globalMesh.faces[ge];
+    v.materials[le] = globalMaterials[ge];
+    v.geo[le] = globalGeo[ge];
+    for (int_t f = 0; f < 4; ++f) {
+      mesh::FaceInfo& fi = v.mesh.faces[le][f];
+      if (fi.neighbor < 0) continue;
+      const idx_t ln = v.globalToLocal[fi.neighbor];
+      // Owned rows keep every locally-present neighbor (owned or halo).
+      // Halo rows keep only their faces back into the owned set: halo
+      // elements are data sources, never stepped, so their remaining faces
+      // are cut to an absorbing boundary (SolverState builds operator data
+      // for the owned prefix only — halo entries stay default-constructed
+      // and must never be read).
+      if (ln >= 0 && (le < v.numOwned || ln < v.numOwned)) {
+        fi.neighbor = ln;
+      } else {
+        fi.neighbor = -1;
+        fi.neighborFace = -1;
+        fi.kind = FaceKind::kAbsorbing;
+      }
+    }
+  }
+
+  v.clustering = globalClustering;
+  v.clustering.cluster.resize(total);
+  for (idx_t le = 0; le < total; ++le)
+    v.clustering.cluster[le] = globalClustering.cluster[v.localToGlobal[le]];
+  return v;
+}
+
+} // namespace nglts::parallel

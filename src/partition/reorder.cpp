@@ -36,14 +36,14 @@ namespace {
 /// cost the neighbor phase's cache behaviour depends on. `localId` maps a
 /// cluster's elements to their position within the cluster block.
 double intraClusterDistance(const mesh::TetMesh& mesh, const std::vector<int_t>& cluster,
-                            const std::vector<idx_t>& order,
+                            const std::vector<idx_t>& order, idx_t owned,
                             std::vector<idx_t>& localId /* scratch, size n */) {
   for (std::size_t i = 0; i < order.size(); ++i) localId[order[i]] = static_cast<idx_t>(i);
   double sum = 0.0;
   for (idx_t e : order)
     for (int_t f = 0; f < 4; ++f) {
       const idx_t nb = mesh.faces[e][f].neighbor;
-      if (nb >= 0 && cluster[nb] == cluster[e])
+      if (nb >= 0 && nb < owned && cluster[nb] == cluster[e])
         sum += std::abs(static_cast<double>(localId[e] - localId[nb]));
     }
   return sum;
@@ -52,15 +52,18 @@ double intraClusterDistance(const mesh::TetMesh& mesh, const std::vector<int_t>&
 } // namespace
 
 Reordering buildClusterReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& cluster,
-                                  bool packNeighbors) {
+                                  bool packNeighbors, idx_t numOwned) {
   const idx_t n = mesh.numElements();
+  const idx_t owned = numOwned < 0 ? n : numOwned;
+  if (owned > n) throw std::runtime_error("buildClusterReordering: numOwned > numElements");
   int_t nc = 0;
   for (idx_t e = 0; e < n; ++e) nc = std::max(nc, cluster[e] + 1);
 
   // Base ordering: stable by-cluster sort, preserving the mesh generator's
   // numbering inside each cluster (already near-banded for graded boxes).
+  // Only the owned prefix takes part; halo elements stay behind it.
   std::vector<std::vector<idx_t>> blocks(nc);
-  for (idx_t e = 0; e < n; ++e) blocks[cluster[e]].push_back(e);
+  for (idx_t e = 0; e < owned; ++e) blocks[cluster[e]].push_back(e);
 
   Reordering r;
   r.oldId.reserve(n);
@@ -88,19 +91,20 @@ Reordering buildClusterReordering(const mesh::TetMesh& mesh, const std::vector<i
           const idx_t e = bfs[head];
           for (int_t f = 0; f < 4; ++f) {
             const idx_t nb = mesh.faces[e][f].neighbor;
-            if (nb >= 0 && !visited[nb] && cluster[nb] == c) {
+            if (nb >= 0 && nb < owned && !visited[nb] && cluster[nb] == c) {
               bfs.push_back(nb);
               visited[nb] = 1;
             }
           }
         }
       }
-      if (intraClusterDistance(mesh, cluster, bfs, localId) <
-          intraClusterDistance(mesh, cluster, block, localId))
+      if (intraClusterDistance(mesh, cluster, bfs, owned, localId) <
+          intraClusterDistance(mesh, cluster, block, owned, localId))
         block.swap(bfs);
     }
     r.oldId.insert(r.oldId.end(), block.begin(), block.end());
   }
+  for (idx_t e = owned; e < n; ++e) r.oldId.push_back(e); // halo suffix, stable
 
   r.newId.resize(n);
   for (idx_t e = 0; e < n; ++e) r.newId[r.oldId[e]] = e;

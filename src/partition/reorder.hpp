@@ -27,8 +27,12 @@ Reordering buildReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& 
 /// over the intra-cluster dual graph so face-neighbors land close in memory
 /// (the neighbor phase then reads mostly nearby buffer slices).
 /// `packNeighbors = false` keeps the stable by-cluster sort only.
+/// `numOwned >= 0` restricts the permutation to the owned prefix
+/// [0, numOwned): only owned elements are cluster-sorted/BFS-packed; the
+/// halo suffix [numOwned, n) keeps its order, appended after the owned
+/// cluster ranges (the distributed arena layout of Sec. V-C).
 Reordering buildClusterReordering(const mesh::TetMesh& mesh, const std::vector<int_t>& cluster,
-                                  bool packNeighbors = true);
+                                  bool packNeighbors = true, idx_t numOwned = -1);
 
 /// First internal index of each cluster under a cluster-contiguous
 /// reordering: `numClusters + 1` offsets, range of cluster c is

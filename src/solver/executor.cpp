@@ -1,6 +1,15 @@
 #include "solver/executor.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#else
+// Serial build (NGLTS_ENABLE_OPENMP=OFF, e.g. the TSan CI job): the pragmas
+// degrade to comments and the thread-id queries collapse to one thread.
+namespace {
+int omp_get_max_threads() { return 1; }
+int omp_get_thread_num() { return 0; }
+} // namespace
+#endif
 
 #include <stdexcept>
 
@@ -116,14 +125,16 @@ StepExecutor<Real, W>::StepExecutor(const SimConfig& cfg,
                                     const kernels::AderKernels<Real, W>& kernels,
                                     SolverState<Real, W>& state,
                                     const lts::Clustering& clustering,
-                                    std::vector<lts::ScheduleOp> schedule, LocalHook* hook)
+                                    std::vector<lts::ScheduleOp> schedule, LocalHook* hook,
+                                    std::unique_ptr<NeighborDataPolicy<Real, W>> policy)
     : kernels_(kernels),
       state_(state),
       clusterDt_(clustering.clusterDt),
       schedule_(std::move(schedule)),
       clusterStep_(clustering.numClusters, 0),
       hook_(hook),
-      policy_(makeNeighborDataPolicy<Real, W>(cfg, state, kernels, clusterDt_)) {
+      policy_(policy ? std::move(policy)
+                     : makeNeighborDataPolicy<Real, W>(cfg, state, kernels, clusterDt_)) {
   const int_t nThreads = omp_get_max_threads();
   scratch_ = kernels_.makeScratchPool(nThreads);
   for (int_t t = 0; t < nThreads; ++t) recStack_.emplace_back(state_.stackSize(), Real(0));
@@ -184,8 +195,11 @@ void StepExecutor<Real, W>::neighborElement(idx_t el, idx_t step, int_t tid) {
     const mesh::FaceInfo& fi = faces[f];
     if (fi.neighbor < 0) continue;
     const Real* data = policy_->data(el, fi, step, s, flops);
-    flops += kernels_.neighborContribution(state_.elementData(el), f, fi.neighborFace, fi.perm,
-                                           data, q, s);
+    if (policy_->faceLocal(el, fi))
+      flops += kernels_.neighborContributionFaceLocal(state_.elementData(el), f, data, q, s);
+    else
+      flops += kernels_.neighborContribution(state_.elementData(el), f, fi.neighborFace,
+                                             fi.perm, data, q, s);
   }
   threadFlops_[tid] += flops;
 }
@@ -208,13 +222,16 @@ void StepExecutor<Real, W>::neighborPhase(int_t cluster) {
 }
 
 template <typename Real, int W>
+void StepExecutor<Real, W>::runOp(const lts::ScheduleOp& op) {
+  if (op.kind == lts::PhaseKind::kLocal)
+    localPhase(op.cluster);
+  else
+    neighborPhase(op.cluster);
+}
+
+template <typename Real, int W>
 void StepExecutor<Real, W>::runCycle() {
-  for (const lts::ScheduleOp& op : schedule_) {
-    if (op.kind == lts::PhaseKind::kLocal)
-      localPhase(op.cluster);
-    else
-      neighborPhase(op.cluster);
-  }
+  for (const lts::ScheduleOp& op : schedule_) runOp(op);
 }
 
 template <typename Real, int W>

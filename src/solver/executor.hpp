@@ -41,6 +41,17 @@ class NeighborDataPolicy {
   virtual const Real* data(idx_t el, const mesh::FaceInfo& fi, idx_t myStep, Scratch& s,
                            std::uint64_t& flops) const = 0;
 
+  /// Whether `data()` for this face returns the *face-local* 9 x nf x W
+  /// projection (the neighboring-flux-matrix product already applied on the
+  /// producing side — the compressed message payload of Sec. V-C) instead
+  /// of the element-local 9 x nb x W representation. The executor then
+  /// consumes it via `neighborContributionFaceLocal`.
+  virtual bool faceLocal(idx_t el, const mesh::FaceInfo& fi) const {
+    (void)el;
+    (void)fi;
+    return false;
+  }
+
   /// Whether the local phase must persist the full ADER derivative stack of
   /// every element (the baseline scheme's neighbor-data representation).
   virtual bool needsDerivStack() const { return false; }
@@ -73,13 +84,21 @@ class StepExecutor {
                             double dt, std::uint64_t& flops) = 0;
   };
 
+  /// `policy` overrides the scheme-derived neighbor-data strategy (nullptr
+  /// = `makeNeighborDataPolicy(cfg, ...)`); the distributed driver injects
+  /// its halo decorator here.
   StepExecutor(const SimConfig& cfg, const kernels::AderKernels<Real, W>& kernels,
                SolverState<Real, W>& state, const lts::Clustering& clustering,
-               std::vector<lts::ScheduleOp> schedule, LocalHook* hook);
+               std::vector<lts::ScheduleOp> schedule, LocalHook* hook,
+               std::unique_ptr<NeighborDataPolicy<Real, W>> policy = nullptr);
 
   /// Execute one full LTS cycle (every cluster advances by the largest
   /// cluster's step). Step counters persist across calls.
   void runCycle();
+
+  /// Execute a single schedule op — the distributed driver interleaves
+  /// halo sends/receives between ops. `runCycle()` is a loop over these.
+  void runOp(const lts::ScheduleOp& op);
 
   idx_t clusterStep(int_t cluster) const { return clusterStep_[cluster]; }
   const std::vector<lts::ScheduleOp>& schedule() const { return schedule_; }

@@ -1,0 +1,197 @@
+#include "solver/seismo_hook.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "basis/quadrature.hpp"
+
+namespace nglts::solver {
+
+template <typename Real, int W>
+SeismoHook<Real, W>::SeismoHook(const mesh::TetMesh& mesh,
+                                const std::vector<mesh::ElementGeometry>& geo,
+                                const std::vector<physics::Material>& materials,
+                                const kernels::AderKernels<Real, W>& kernels,
+                                const SolverState<Real, W>& state, double receiverDt)
+    : mesh_(mesh),
+      geo_(geo),
+      materials_(materials),
+      kernels_(kernels),
+      state_(state),
+      recDt_(receiverDt) {
+  elementSources_.assign(mesh_.numElements(), {});
+  elementReceivers_.assign(mesh_.numElements(), {});
+}
+
+template <typename Real, int W>
+void SeismoHook<Real, W>::addPointSource(idx_t element, const seismo::PointSource& src,
+                                         std::vector<double> laneScale) {
+  if (laneScale.empty()) laneScale.assign(W, 1.0);
+  if (static_cast<int_t>(laneScale.size()) != W)
+    throw std::invalid_argument("addPointSource: laneScale must have W = " + std::to_string(W) +
+                                " entries, got " + std::to_string(laneScale.size()));
+  const auto xi = mesh::physicalToReference(mesh_, geo_[element], element, src.position);
+  const auto phi = kernels_.globalMatrices().tet->evalAll(xi);
+  const int_t nb = kernels_.numBasis();
+
+  BoundSource bs;
+  bs.element = state_.toInternal(element);
+  bs.stf = src.stf;
+  bs.coeffs.assign(elSize(), Real(0));
+  for (int_t v = 0; v < kElasticVars; ++v) {
+    double wv = src.weights[v];
+    if (v >= kVelU) wv /= materials_[element].rho; // force -> acceleration
+    wv /= geo_[element].detJac;                    // M^{-1} delta projection
+    // M_nm = detJac * delta_nm (basis orthonormal on the reference tet), so
+    // the delta projection is phi_n(xi_s) / detJac.
+    for (int_t b = 0; b < nb; ++b)
+      for (int_t lane = 0; lane < W; ++lane)
+        bs.coeffs[(static_cast<std::size_t>(v) * nb + b) * W + lane] =
+            static_cast<Real>(wv * phi[b] * laneScale[lane]);
+  }
+  elementSources_[bs.element].push_back(static_cast<idx_t>(sources_.size()));
+  sources_.push_back(std::move(bs));
+}
+
+template <typename Real, int W>
+idx_t SeismoHook<Real, W>::addReceiver(idx_t element, const std::array<double, 3>& position) {
+  seismo::Receiver r;
+  r.position = position;
+  r.element = element;
+  r.basisValues = kernels_.globalMatrices().tet->evalAll(
+      mesh::physicalToReference(mesh_, geo_[element], element, position));
+  r.traces.resize(W);
+  elementReceivers_[state_.toInternal(element)].push_back(
+      static_cast<idx_t>(receivers_.size()));
+  receivers_.push_back(std::move(r));
+  return static_cast<idx_t>(receivers_.size()) - 1;
+}
+
+template <typename Real, int W>
+const seismo::Receiver& SeismoHook<Real, W>::receiver(idx_t i) const {
+  if (i < 0 || i >= static_cast<idx_t>(receivers_.size()))
+    throw std::out_of_range("receiver: index " + std::to_string(i) + " out of range (have " +
+                            std::to_string(receivers_.size()) + ")");
+  return receivers_[i];
+}
+
+template <typename Real, int W>
+void SeismoHook<Real, W>::afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0,
+                                     double dt, std::uint64_t& flops) {
+  for (idx_t si : elementSources_[internalEl]) {
+    const BoundSource& bs = sources_[si];
+    const Real integral = static_cast<Real>(bs.stf->integral(t0, t0 + dt));
+    linalg::axpyBlock(integral, bs.coeffs.data(), q, elSize());
+    flops += 2ull * elSize();
+  }
+  if (!elementReceivers_[internalEl].empty()) sampleReceivers(internalEl, stack, t0, dt);
+}
+
+template <typename Real, int W>
+void SeismoHook<Real, W>::sampleReceivers(idx_t internalEl, const Real* stack, double t0,
+                                          double dt) {
+  // Evaluate the ADER predictor's Taylor expansion on the uniform receiver
+  // time grid inside [t0, t0 + dt] — each LTS element records at full
+  // resolution regardless of its cluster's step.
+  const int_t nb = kernels_.numBasis();
+  const int_t order = kernels_.order();
+  const std::size_t vs = static_cast<std::size_t>(nb) * W;
+  for (idx_t ri : elementReceivers_[internalEl]) {
+    auto& rec = receivers_[ri];
+    // Project the derivative stack onto the receiver point:
+    // poly[d][v][lane] (time polynomial coefficients).
+    std::vector<double> poly(static_cast<std::size_t>(order) * kElasticVars * W, 0.0);
+    for (int_t d = 0; d < order; ++d)
+      for (int_t v = 0; v < kElasticVars; ++v) {
+        const Real* src = stack + static_cast<std::size_t>(d) * bufSize() + v * vs;
+        for (int_t b = 0; b < nb; ++b) {
+          const double phi = rec.basisValues[b];
+          for (int_t lane = 0; lane < W; ++lane)
+            poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane] +=
+                phi * static_cast<double>(src[static_cast<std::size_t>(b) * W + lane]);
+        }
+      }
+    const idx_t jFirst = static_cast<idx_t>(std::floor(t0 / recDt_ + 1e-9)) + 1;
+    for (idx_t j = jFirst; j * recDt_ <= t0 + dt + 1e-12 * dt; ++j) {
+      const double tau = j * recDt_ - t0;
+      for (int_t lane = 0; lane < W; ++lane) {
+        std::array<double, kElasticVars> vals{};
+        double coef = 1.0;
+        for (int_t d = 0; d < order; ++d) {
+          for (int_t v = 0; v < kElasticVars; ++v)
+            vals[v] += coef * poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane];
+          coef *= tau / (d + 1);
+        }
+        rec.traces[lane].times.push_back(j * recDt_);
+        rec.traces[lane].values.push_back(vals);
+      }
+    }
+  }
+}
+
+template <typename Real, int W>
+void projectInitialCondition(const kernels::AderKernels<Real, W>& kernels,
+                             const mesh::TetMesh& mesh,
+                             const std::vector<mesh::ElementGeometry>& geo,
+                             const InitialConditionFn& f, SolverState<Real, W>& state,
+                             idx_t numElements) {
+  const auto quad = basis::tetQuadrature(kernels.order() + 2);
+  const auto& tet = *kernels.globalMatrices().tet;
+  const int_t nb = kernels.numBasis();
+  const std::size_t elSize = kernels.dofsPerElement();
+#pragma omp parallel for schedule(static)
+  for (idx_t el = 0; el < numElements; ++el) {
+    Real* q = state.q(state.toInternal(el));
+    linalg::zeroBlock(q, elSize);
+    const auto& v0 = mesh.vertices[mesh.elements[el][0]];
+    for (const auto& qp : quad) {
+      std::array<double, 3> x = v0;
+      for (int_t r = 0; r < 3; ++r)
+        for (int_t c = 0; c < 3; ++c) x[r] += geo[el].jac[r][c] * qp.xi[c];
+      const auto phi = tet.evalAll(qp.xi);
+      for (int_t lane = 0; lane < W; ++lane) {
+        double q9[kElasticVars];
+        f(x, lane, q9);
+        for (int_t v = 0; v < kElasticVars; ++v) {
+          const double wv = qp.weight * q9[v];
+          for (int_t b = 0; b < nb; ++b)
+            q[(static_cast<std::size_t>(v) * nb + b) * W + lane] +=
+                static_cast<Real>(wv * phi[b]);
+        }
+      }
+    }
+  }
+}
+
+template class SeismoHook<float, 1>;
+template class SeismoHook<float, 8>;
+template class SeismoHook<float, 16>;
+template class SeismoHook<double, 1>;
+template class SeismoHook<double, 2>;
+
+template void projectInitialCondition(const kernels::AderKernels<float, 1>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<float, 1>&, idx_t);
+template void projectInitialCondition(const kernels::AderKernels<float, 8>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<float, 8>&, idx_t);
+template void projectInitialCondition(const kernels::AderKernels<float, 16>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<float, 16>&,
+                                      idx_t);
+template void projectInitialCondition(const kernels::AderKernels<double, 1>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<double, 1>&,
+                                      idx_t);
+template void projectInitialCondition(const kernels::AderKernels<double, 2>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<double, 2>&,
+                                      idx_t);
+
+} // namespace nglts::solver

@@ -1,0 +1,130 @@
+#pragma once
+// Sources and receivers as a `StepExecutor::LocalHook` — the part of the
+// facade that participates in the element loop (source injection after the
+// local-phase kernels, receiver sampling from the ADER predictor's
+// derivative stack). Shared between the single-process `Simulation` facade
+// and the per-rank engines of `parallel::DistributedSimulation`: both bind
+// sources/receivers to *external* element ids of their state's mesh (the
+// caller's mesh, or a rank-local halo view) and hand the hook to their
+// executor.
+//
+// Also hosts the shared L2 initial-condition projection, so single-process
+// and distributed runs start from bitwise-identical modal DOFs.
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kernels/ader_kernels.hpp"
+#include "mesh/geometry.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "physics/material.hpp"
+#include "seismo/receiver.hpp"
+#include "seismo/source.hpp"
+#include "solver/executor.hpp"
+#include "solver/state.hpp"
+
+namespace nglts::solver {
+
+template <typename Real, int W>
+class SeismoHook final : public StepExecutor<Real, W>::LocalHook {
+ public:
+  /// All references must outlive the hook; `mesh`/`geo`/`materials` are in
+  /// the state's *external* element order. `receiverDt` is the uniform
+  /// receiver sampling interval (see SimConfig::receiverSampleDt).
+  SeismoHook(const mesh::TetMesh& mesh, const std::vector<mesh::ElementGeometry>& geo,
+             const std::vector<physics::Material>& materials,
+             const kernels::AderKernels<Real, W>& kernels, const SolverState<Real, W>& state,
+             double receiverDt);
+
+  /// Bind a point source inside external element `element` (located by the
+  /// caller). `laneScale` (size W; empty = all-1) modulates the amplitude
+  /// per fused lane; throws `std::invalid_argument` on a size mismatch.
+  void addPointSource(idx_t element, const seismo::PointSource& src,
+                      std::vector<double> laneScale);
+
+  /// Bind a receiver inside external element `element`; returns its index.
+  idx_t addReceiver(idx_t element, const std::array<double, 3>& position);
+
+  /// Bounds-checked receiver access; throws `std::out_of_range`.
+  const seismo::Receiver& receiver(idx_t i) const;
+  idx_t numReceivers() const { return static_cast<idx_t>(receivers_.size()); }
+
+  // -- StepExecutor<Real, W>::LocalHook (internal element ids) --------------
+  bool wantsStack(idx_t internalEl) const override {
+    return !elementReceivers_[internalEl].empty();
+  }
+  void afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0, double dt,
+                  std::uint64_t& flops) override;
+
+ private:
+  /// Dense receiver sampling from the predictor's derivative stack.
+  void sampleReceivers(idx_t internalEl, const Real* derivStack, double t0, double dt);
+
+  const mesh::TetMesh& mesh_;
+  const std::vector<mesh::ElementGeometry>& geo_;
+  const std::vector<physics::Material>& materials_;
+  const kernels::AderKernels<Real, W>& kernels_;
+  const SolverState<Real, W>& state_;
+  double recDt_ = 0.0;
+
+  struct BoundSource {
+    idx_t element;            ///< internal id
+    std::vector<Real> coeffs; ///< nq x nb x W modal injection coefficients
+    std::shared_ptr<seismo::SourceTimeFunction> stf;
+  };
+  std::vector<BoundSource> sources_;
+  std::vector<std::vector<idx_t>> elementSources_;   ///< internal el -> source ids
+  std::vector<seismo::Receiver> receivers_;          ///< Receiver::element external
+  std::vector<std::vector<idx_t>> elementReceivers_; ///< internal el -> receiver ids
+
+  std::size_t elSize() const { return kernels_.dofsPerElement(); }
+  std::size_t bufSize() const { return kernels_.elasticDofsPerElement(); }
+};
+
+/// Initial condition callback shared by the facades: fills the 9 elastic
+/// quantities at a physical point for one fused lane.
+using InitialConditionFn =
+    std::function<void(const std::array<double, 3>& x, int_t lane, double* q9)>;
+
+/// L2-project the initial condition onto the modal DOFs of the external
+/// elements [0, numElements) of `state` (memory variables start at zero).
+/// `numElements` lets the distributed driver stop at its owned prefix —
+/// halo DOFs are never read, their face data arrives through messages.
+template <typename Real, int W>
+void projectInitialCondition(const kernels::AderKernels<Real, W>& kernels,
+                             const mesh::TetMesh& mesh,
+                             const std::vector<mesh::ElementGeometry>& geo,
+                             const InitialConditionFn& f, SolverState<Real, W>& state,
+                             idx_t numElements);
+
+extern template class SeismoHook<float, 1>;
+extern template class SeismoHook<float, 8>;
+extern template class SeismoHook<float, 16>;
+extern template class SeismoHook<double, 1>;
+extern template class SeismoHook<double, 2>;
+
+extern template void projectInitialCondition(
+    const kernels::AderKernels<float, 1>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<float, 1>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<float, 8>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<float, 8>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<float, 16>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<float, 16>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<double, 1>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<double, 1>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<double, 2>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<double, 2>&, idx_t);
+
+} // namespace nglts::solver

@@ -1,0 +1,34 @@
+#include "solver/setup.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace nglts::solver {
+
+lts::Clustering resolveClustering(const mesh::TetMesh& mesh, const std::vector<double>& dtCfl,
+                                  const SimConfig& cfg) {
+  const bool gts = cfg.scheme == TimeScheme::kGts;
+  const int_t nc = gts ? 1 : cfg.numClusters;
+  double lambda = gts ? 1.0 : cfg.lambda;
+  if (!gts && cfg.autoLambda) {
+    const lts::LambdaSweep sweep = lts::optimizeLambda(mesh, dtCfl, nc);
+    lambda = sweep.bestLambda;
+    NGLTS_LOG_INFO << "lambda sweep: best lambda " << lambda << " speedup " << sweep.bestSpeedup;
+  }
+  return lts::buildClustering(mesh, dtCfl, nc, lambda);
+}
+
+std::vector<double> resolveOmega(const std::vector<physics::Material>& materials,
+                                 int_t mechanisms) {
+  std::vector<double> omega;
+  if (mechanisms <= 0) return omega;
+  for (const auto& m : materials)
+    if (m.mechanisms() >= mechanisms) {
+      omega.assign(m.omega.begin(), m.omega.begin() + mechanisms);
+      return omega;
+    }
+  throw std::runtime_error("anelastic run without viscoelastic materials");
+}
+
+} // namespace nglts::solver

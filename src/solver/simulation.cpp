@@ -1,12 +1,9 @@
 #include "solver/simulation.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 
-#include "basis/quadrature.hpp"
-#include "common/log.hpp"
+#include "solver/setup.hpp"
 
 namespace nglts::solver {
 
@@ -21,182 +18,40 @@ Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Materia
 
   geo_ = mesh::computeGeometry(mesh_);
   const std::vector<double> dtCfl = lts::cflTimeSteps(geo_, materials_, cfg_.order, cfg_.cfl);
+  clustering_ = resolveClustering(mesh_, dtCfl, cfg_);
+  std::vector<lts::ScheduleOp> schedule = lts::buildSchedule(clustering_.numClusters);
+  lts::checkSchedule(schedule, clustering_.numClusters);
 
-  int_t nc = cfg_.scheme == TimeScheme::kGts ? 1 : cfg_.numClusters;
-  double lambda = cfg_.scheme == TimeScheme::kGts ? 1.0 : cfg_.lambda;
-  if (cfg_.scheme != TimeScheme::kGts && cfg_.autoLambda) {
-    const lts::LambdaSweep sweep = lts::optimizeLambda(mesh_, dtCfl, nc);
-    lambda = sweep.bestLambda;
-    NGLTS_LOG_INFO << "lambda sweep: best lambda " << lambda << " speedup " << sweep.bestSpeedup;
-  }
-  clustering_ = lts::buildClustering(mesh_, dtCfl, nc, lambda);
-  std::vector<lts::ScheduleOp> schedule = lts::buildSchedule(nc);
-  lts::checkSchedule(schedule, nc);
-
-  // Relaxation frequencies: shared across the mesh (fitConstantQ places them
-  // by (mechanisms, band) only); take them from the first viscoelastic
-  // material.
-  std::vector<double> omega;
-  if (cfg_.mechanisms > 0) {
-    for (const auto& m : materials_)
-      if (m.mechanisms() >= cfg_.mechanisms) {
-        omega.assign(m.omega.begin(), m.omega.begin() + cfg_.mechanisms);
-        break;
-      }
-    if (omega.empty())
-      throw std::runtime_error("Simulation: anelastic run without viscoelastic materials");
-  }
+  const std::vector<double> omega = resolveOmega(materials_, cfg_.mechanisms);
   kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
                                                              cfg_.sparseKernels, omega);
   state_ = std::make_unique<SolverState<Real, W>>(mesh_, materials_, geo_, clustering_,
                                                   *kernels_, cfg_);
-  executor_ = std::make_unique<StepExecutor<Real, W>>(
-      cfg_, *kernels_, *state_, clustering_, std::move(schedule),
-      static_cast<typename StepExecutor<Real, W>::LocalHook*>(this));
-
-  const idx_t k = mesh_.numElements();
-  elementSources_.assign(k, {});
-  elementReceivers_.assign(k, {});
-
-  recDt_ = cfg_.receiverSampleDt > 0.0 ? cfg_.receiverSampleDt : clustering_.dtMin;
+  const double recDt = cfg_.receiverSampleDt > 0.0 ? cfg_.receiverSampleDt : clustering_.dtMin;
+  hook_ = std::make_unique<SeismoHook<Real, W>>(mesh_, geo_, materials_, *kernels_, *state_,
+                                                recDt);
+  executor_ = std::make_unique<StepExecutor<Real, W>>(cfg_, *kernels_, *state_, clustering_,
+                                                      std::move(schedule), hook_.get());
 }
 
 template <typename Real, int W>
 void Simulation<Real, W>::setInitialCondition(const InitFn& f) {
-  const auto quad = basis::tetQuadrature(cfg_.order + 2);
-  const auto& tet = *kernels_->globalMatrices().tet;
-  const int_t nb = kernels_->numBasis();
-#pragma omp parallel for schedule(static)
-  for (idx_t el = 0; el < mesh_.numElements(); ++el) {
-    Real* q = dofs(el);
-    linalg::zeroBlock(q, elSize());
-    const auto& v0 = mesh_.vertices[mesh_.elements[el][0]];
-    for (const auto& qp : quad) {
-      std::array<double, 3> x = v0;
-      for (int_t r = 0; r < 3; ++r)
-        for (int_t c = 0; c < 3; ++c) x[r] += geo_[el].jac[r][c] * qp.xi[c];
-      const auto phi = tet.evalAll(qp.xi);
-      for (int_t lane = 0; lane < W; ++lane) {
-        double q9[kElasticVars];
-        f(x, lane, q9);
-        for (int_t v = 0; v < kElasticVars; ++v) {
-          const double wv = qp.weight * q9[v];
-          for (int_t b = 0; b < nb; ++b)
-            q[(static_cast<std::size_t>(v) * nb + b) * W + lane] +=
-                static_cast<Real>(wv * phi[b]);
-        }
-      }
-    }
-  }
+  projectInitialCondition(*kernels_, mesh_, geo_, f, *state_, mesh_.numElements());
 }
 
 template <typename Real, int W>
 void Simulation<Real, W>::addPointSource(const seismo::PointSource& src,
                                          std::vector<double> laneScale) {
-  if (laneScale.empty()) laneScale.assign(W, 1.0);
-  if (static_cast<int_t>(laneScale.size()) != W)
-    throw std::invalid_argument("addPointSource: laneScale must have W = " + std::to_string(W) +
-                                " entries, got " + std::to_string(laneScale.size()));
   const idx_t el = mesh::locatePoint(mesh_, geo_, src.position);
   if (el < 0) throw std::runtime_error("addPointSource: source outside the mesh");
-  const auto xi = mesh::physicalToReference(mesh_, geo_[el], el, src.position);
-  const auto phi = kernels_->globalMatrices().tet->evalAll(xi);
-  const int_t nb = kernels_->numBasis();
-
-  BoundSource bs;
-  bs.element = state_->toInternal(el);
-  bs.stf = src.stf;
-  bs.coeffs.assign(elSize(), Real(0));
-  for (int_t v = 0; v < kElasticVars; ++v) {
-    double wv = src.weights[v];
-    if (v >= kVelU) wv /= materials_[el].rho; // force -> acceleration
-    wv /= geo_[el].detJac;                    // M^{-1} delta projection
-    // M_nm = detJac * delta_nm (basis orthonormal on the reference tet), so
-    // the delta projection is phi_n(xi_s) / detJac.
-    for (int_t b = 0; b < nb; ++b)
-      for (int_t lane = 0; lane < W; ++lane)
-        bs.coeffs[(static_cast<std::size_t>(v) * nb + b) * W + lane] =
-            static_cast<Real>(wv * phi[b] * laneScale[lane]);
-  }
-  elementSources_[bs.element].push_back(static_cast<idx_t>(sources_.size()));
-  sources_.push_back(std::move(bs));
+  hook_->addPointSource(el, src, std::move(laneScale));
 }
 
 template <typename Real, int W>
 idx_t Simulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
   const idx_t el = mesh::locatePoint(mesh_, geo_, position);
   if (el < 0) return -1;
-  seismo::Receiver r;
-  r.position = position;
-  r.element = el;
-  r.basisValues =
-      kernels_->globalMatrices().tet->evalAll(mesh::physicalToReference(mesh_, geo_[el], el, position));
-  r.traces.resize(W);
-  elementReceivers_[state_->toInternal(el)].push_back(static_cast<idx_t>(receivers_.size()));
-  receivers_.push_back(std::move(r));
-  return static_cast<idx_t>(receivers_.size()) - 1;
-}
-
-template <typename Real, int W>
-const seismo::Receiver& Simulation<Real, W>::receiver(idx_t i) const {
-  if (i < 0 || i >= static_cast<idx_t>(receivers_.size()))
-    throw std::out_of_range("Simulation::receiver: index " + std::to_string(i) +
-                            " out of range (have " + std::to_string(receivers_.size()) + ")");
-  return receivers_[i];
-}
-
-template <typename Real, int W>
-void Simulation<Real, W>::afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0,
-                                     double dt, std::uint64_t& flops) {
-  for (idx_t si : elementSources_[internalEl]) {
-    const BoundSource& bs = sources_[si];
-    const Real integral = static_cast<Real>(bs.stf->integral(t0, t0 + dt));
-    linalg::axpyBlock(integral, bs.coeffs.data(), q, elSize());
-    flops += 2ull * elSize();
-  }
-  if (!elementReceivers_[internalEl].empty()) sampleReceivers(internalEl, stack, t0, dt);
-}
-
-template <typename Real, int W>
-void Simulation<Real, W>::sampleReceivers(idx_t internalEl, const Real* stack, double t0,
-                                          double dt) {
-  // Evaluate the ADER predictor's Taylor expansion on the uniform receiver
-  // time grid inside [t0, t0 + dt] — each LTS element records at full
-  // resolution regardless of its cluster's step.
-  const int_t nb = kernels_->numBasis();
-  const int_t order = cfg_.order;
-  const std::size_t vs = static_cast<std::size_t>(nb) * W;
-  for (idx_t ri : elementReceivers_[internalEl]) {
-    auto& rec = receivers_[ri];
-    // Project the derivative stack onto the receiver point:
-    // poly[d][v][lane] (time polynomial coefficients).
-    std::vector<double> poly(static_cast<std::size_t>(order) * kElasticVars * W, 0.0);
-    for (int_t d = 0; d < order; ++d)
-      for (int_t v = 0; v < kElasticVars; ++v) {
-        const Real* src = stack + static_cast<std::size_t>(d) * bufSize() + v * vs;
-        for (int_t b = 0; b < nb; ++b) {
-          const double phi = rec.basisValues[b];
-          for (int_t lane = 0; lane < W; ++lane)
-            poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane] +=
-                phi * static_cast<double>(src[static_cast<std::size_t>(b) * W + lane]);
-        }
-      }
-    const idx_t jFirst = static_cast<idx_t>(std::floor(t0 / recDt_ + 1e-9)) + 1;
-    for (idx_t j = jFirst; j * recDt_ <= t0 + dt + 1e-12 * dt; ++j) {
-      const double tau = j * recDt_ - t0;
-      for (int_t lane = 0; lane < W; ++lane) {
-        std::array<double, kElasticVars> vals{};
-        double coef = 1.0;
-        for (int_t d = 0; d < order; ++d) {
-          for (int_t v = 0; v < kElasticVars; ++v)
-            vals[v] += coef * poly[(static_cast<std::size_t>(d) * kElasticVars + v) * W + lane];
-          coef *= tau / (d + 1);
-        }
-        rec.traces[lane].times.push_back(j * recDt_);
-        rec.traces[lane].values.push_back(vals);
-      }
-    }
-  }
+  return hook_->addReceiver(el, position);
 }
 
 template <typename Real, int W>

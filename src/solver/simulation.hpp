@@ -2,8 +2,9 @@
 // Layer 3 of the solver core: the `Simulation` facade. Wires the clustering
 // pipeline, the `SolverState` memory arena (state.hpp) and the
 // `StepExecutor` schedule engine (executor.hpp) together, and owns what sits
-// on top of the time loop: point sources, receivers and the public API used
-// by the CLI, the benches and the tests.
+// on top of the time loop: point sources, receivers (via the shared
+// `SeismoHook`, seismo_hook.hpp) and the public API used by the CLI, the
+// benches and the tests.
 //
 // Supported schemes (see executor.hpp's NeighborDataPolicy strategies):
 //  * global time stepping (GTS == LTS with one cluster),
@@ -35,21 +36,23 @@
 #include "seismo/source.hpp"
 #include "solver/config.hpp"
 #include "solver/executor.hpp"
+#include "solver/seismo_hook.hpp"
 #include "solver/state.hpp"
 
 namespace nglts::solver {
 
 template <typename Real, int W>
-class Simulation : private StepExecutor<Real, W>::LocalHook {
+class Simulation {
  public:
   /// Initial condition callback: fills the 9 elastic quantities at a
   /// physical point for one fused lane; memory variables start at zero.
-  using InitFn = std::function<void(const std::array<double, 3>& x, int_t lane, double* q9)>;
+  using InitFn = InitialConditionFn;
 
   Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials, SimConfig config);
 
-  /// The executor holds a hook pointer into this object; the facade is
-  /// created in place (guaranteed copy elision covers factory returns).
+  /// The executor holds a pointer to the facade's source/receiver hook; the
+  /// facade is created in place (guaranteed copy elision covers factory
+  /// returns).
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -74,8 +77,8 @@ class Simulation : private StepExecutor<Real, W>::LocalHook {
   /// the mesh.
   idx_t addReceiver(const std::array<double, 3>& position);
   /// Bounds-checked receiver access; throws `std::out_of_range`.
-  const seismo::Receiver& receiver(idx_t i) const;
-  idx_t numReceivers() const { return static_cast<idx_t>(receivers_.size()); }
+  const seismo::Receiver& receiver(idx_t i) const { return hook_->receiver(i); }
+  idx_t numReceivers() const { return hook_->numReceivers(); }
 
   /// Advance by full LTS cycles until at least `endTime` is covered.
   PerfStats run(double endTime);
@@ -95,16 +98,6 @@ class Simulation : private StepExecutor<Real, W>::LocalHook {
   std::uint64_t cycleCommBytes(const std::vector<int_t>& partition, bool faceLocal) const;
 
  private:
-  // StepExecutor<Real, W>::LocalHook — called on internal element ids.
-  bool wantsStack(idx_t internalEl) const override {
-    return !elementReceivers_[internalEl].empty();
-  }
-  void afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0, double dt,
-                  std::uint64_t& flops) override;
-
-  /// Dense receiver sampling from the predictor's derivative stack.
-  void sampleReceivers(idx_t internalEl, const Real* derivStack, double t0, double dt);
-
   SimConfig cfg_;
   mesh::TetMesh mesh_;                        ///< external order
   std::vector<physics::Material> materials_;  ///< external order
@@ -113,18 +106,8 @@ class Simulation : private StepExecutor<Real, W>::LocalHook {
 
   std::unique_ptr<kernels::AderKernels<Real, W>> kernels_;
   std::unique_ptr<SolverState<Real, W>> state_;
+  std::unique_ptr<SeismoHook<Real, W>> hook_; ///< sources + receivers
   std::unique_ptr<StepExecutor<Real, W>> executor_;
-
-  struct BoundSource {
-    idx_t element; ///< internal id
-    std::vector<Real> coeffs; ///< nq x nb x W modal injection coefficients
-    std::shared_ptr<seismo::SourceTimeFunction> stf;
-  };
-  std::vector<BoundSource> sources_;
-  std::vector<std::vector<idx_t>> elementSources_;   ///< internal el -> source ids
-  std::vector<seismo::Receiver> receivers_;          ///< Receiver::element external
-  std::vector<std::vector<idx_t>> elementReceivers_; ///< internal el -> receiver ids
-  double recDt_ = 0.0;
 
   std::size_t elSize() const { return kernels_->dofsPerElement(); }
   std::size_t bufSize() const { return kernels_->elasticDofsPerElement(); }

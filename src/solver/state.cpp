@@ -24,26 +24,37 @@ SolverState<Real, W>::SolverState(const mesh::TetMesh& externalMesh,
                                   const std::vector<mesh::ElementGeometry>& externalGeo,
                                   const lts::Clustering& clustering,
                                   const kernels::AderKernels<Real, W>& kernels,
-                                  const SimConfig& cfg) {
+                                  const SimConfig& cfg, idx_t numOwned) {
   const idx_t n = externalMesh.numElements();
+  numOwned_ = numOwned < 0 ? n : numOwned;
+  if (numOwned_ > n) throw std::runtime_error("SolverState: numOwned > numElements");
   reorder_ = cfg.clusterReorder
-                 ? partition::buildClusterReordering(externalMesh, clustering.cluster)
+                 ? partition::buildClusterReordering(externalMesh, clustering.cluster,
+                                                     /*packNeighbors=*/true, numOwned_)
                  : identityReordering(n);
   mesh_ = partition::applyReordering(externalMesh, reorder_);
   numClusters_ = clustering.numClusters;
   contiguous_ = cfg.clusterReorder;
   cluster_ = partition::permute(clustering.cluster, reorder_);
   if (contiguous_) {
-    clusterOffsets_ = partition::clusterRanges(cluster_, numClusters_);
+    // Cluster ranges span the owned prefix only; halo elements sit after.
+    const std::vector<int_t> ownedCluster(cluster_.begin(), cluster_.begin() + numOwned_);
+    clusterOffsets_ = partition::clusterRanges(ownedCluster, numClusters_);
   } else {
     // Original mesh order: clusters are scattered, keep index lists.
     clusterElems_.assign(numClusters_, {});
-    for (idx_t e = 0; e < n; ++e) clusterElems_[cluster_[e]].push_back(e);
+    for (idx_t e = 0; e < numOwned_; ++e) clusterElems_[cluster_[e]].push_back(e);
   }
 
   const std::vector<mesh::ElementGeometry> geo = partition::permute(externalGeo, reorder_);
   const std::vector<physics::Material> mats = partition::permute(externalMaterials, reorder_);
-  elementData_ = kernels::buildAllElementData<Real>(mesh_, geo, mats, cfg.mechanisms);
+  // Operator data only for the owned prefix: halo elements are never
+  // stepped and the neighbor update reads the *consuming* element's flux
+  // solvers, so halo entries stay default-constructed.
+  elementData_.resize(n);
+#pragma omp parallel for schedule(static)
+  for (idx_t el = 0; el < numOwned_; ++el)
+    elementData_[el] = kernels::buildElementData<Real>(mesh_, geo, mats, el, cfg.mechanisms);
 
   elSize_ = kernels.dofsPerElement();
   bufSize_ = kernels.elasticDofsPerElement();
@@ -72,6 +83,14 @@ SolverState<Real, W>::SolverState(const mesh::TetMesh& externalMesh,
         if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
         if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
       }
+    }
+#pragma omp parallel for schedule(static)
+    for (idx_t el = numOwned_; el < n; ++el) { // halo suffix
+      linalg::zeroBlock(q(el), elSize_);
+      linalg::zeroBlock(b1(el), bufSize_);
+      if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
+      if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
+      if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
     }
   } else {
 #pragma omp parallel for schedule(static)

@@ -43,14 +43,27 @@ class SolverState {
   /// Builds the internal (permuted) mesh view, the per-element operator
   /// data and the solver arenas. All inputs are in *external* order; the
   /// clustering must already be final (cluster ids + cluster count).
+  ///
+  /// `numOwned >= 0` declares the mesh a rank-local halo view (distributed
+  /// execution, Sec. V-C): external elements [0, numOwned) are owned and get
+  /// cluster-contiguous internal ranges; [numOwned, n) are halo copies of
+  /// remote elements, appended after the owned ranges in stable order. Halo
+  /// elements have arena slots (so neighbor reads stay uniform) but are
+  /// excluded from every cluster range/list the executor iterates.
   SolverState(const mesh::TetMesh& externalMesh,
               const std::vector<physics::Material>& externalMaterials,
               const std::vector<mesh::ElementGeometry>& externalGeo,
               const lts::Clustering& clustering,
-              const kernels::AderKernels<Real, W>& kernels, const SimConfig& cfg);
+              const kernels::AderKernels<Real, W>& kernels, const SimConfig& cfg,
+              idx_t numOwned = -1);
 
   // -- layout ---------------------------------------------------------------
   idx_t numElements() const { return mesh_.numElements(); }
+  /// Owned elements (== numElements() unless this is a halo view). The
+  /// internal ids [0, numOwned()) are owned, [numOwned(), n) are halo.
+  idx_t numOwned() const { return numOwned_; }
+  idx_t numHalo() const { return mesh_.numElements() - numOwned_; }
+  bool isHalo(idx_t internal) const { return internal >= numOwned_; }
   int_t numClusters() const { return numClusters_; }
   /// Whether every cluster is one contiguous internal index range
   /// (`SimConfig::clusterReorder`); if not, iterate `clusterElems` instead.
@@ -98,6 +111,7 @@ class SolverState {
  private:
   partition::Reordering reorder_;
   mesh::TetMesh mesh_;                       ///< internal order
+  idx_t numOwned_ = 0;
   int_t numClusters_ = 1;
   bool contiguous_ = true;
   std::vector<int_t> cluster_;               ///< internal order

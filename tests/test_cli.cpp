@@ -106,6 +106,9 @@ TEST(Scenarios, OutOfRangeOverridesThrow) {
   bad = {};
   bad.endTime = std::nan("");
   EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  bad = {};
+  bad.ranks = 0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
 }
 
 TEST(Scenarios, ParseSchemeRoundTrips) {

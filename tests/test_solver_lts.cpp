@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <string>
 
+#include "cli/scenario.hpp"
 #include "mesh/box_gen.hpp"
 #include "seismo/misfit.hpp"
 #include "physics/attenuation.hpp"
@@ -213,4 +216,70 @@ TEST(SolverLts, BaselineCommBytesLarger) {
   // The derivative paradigm ships O x 9 x B values where the new scheme
   // ships 9 x F per face (Sec. V motivation).
   EXPECT_GT(base.cycleCommBytes(part, false), next.cycleCommBytes(part, true));
+}
+
+// ---------------------------------------------------------------------------
+// Golden seismogram fixtures: the committed traces under tests/golden/ pin
+// the quickstart GTS and LTS runs to *absolute* values, so refactors that
+// preserve self-consistency (e.g. LTS vs GTS misfit) but shift the physics
+// still fail here. Regenerate with:
+//   nglts --scenario quickstart --scheme {gts|lts} --order 3 --scale 0.4
+//         --end-time 0.8 --lambda 0.9 --output tests/golden/<scheme>_
+//   mv tests/golden/<scheme>_quickstart_seismogram.csv \
+//      tests/golden/quickstart_<scheme>.csv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+#ifndef NGLTS_GOLDEN_DIR
+#define NGLTS_GOLDEN_DIR "tests/golden"
+#endif
+
+std::vector<double> readGoldenTrace(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<double> vx;
+  if (!in) return vx;
+  std::string line;
+  std::getline(in, line); // header
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    vx.push_back(std::stod(line.substr(comma + 1)));
+  }
+  return vx;
+}
+
+void checkGoldenQuickstart(ns::TimeScheme scheme, const std::string& file) {
+  nglts::cli::registerBuiltinScenarios();
+  const nglts::cli::Scenario* s = nglts::cli::ScenarioRegistry::instance().find("quickstart");
+  ASSERT_NE(s, nullptr);
+  nglts::cli::ScenarioOptions opts;
+  opts.order = 3;
+  opts.scheme = scheme;
+  opts.meshScale = 0.4;
+  opts.endTime = 0.8;
+  opts.lambda = 0.9;
+  opts.quiet = true;
+  const nglts::cli::ScenarioReport report = s->run(opts);
+
+  const auto golden = readGoldenTrace(std::string(NGLTS_GOLDEN_DIR) + "/" + file);
+  ASSERT_FALSE(golden.empty()) << "missing golden fixture " << file;
+  ASSERT_EQ(report.trace.size(), golden.size());
+  double peak = 0.0;
+  for (double v : golden) peak = std::max(peak, std::fabs(v));
+  ASSERT_GT(peak, 0.0) << "golden trace must carry signal";
+  // Tight relative tolerance: bitwise on the producing toolchain, headroom
+  // only for compiler/libm variation across platforms.
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    EXPECT_NEAR(report.trace[i], golden[i], 1e-9 * peak) << "sample " << i;
+}
+
+} // namespace
+
+TEST(SolverLtsGolden, QuickstartGtsMatchesCommittedFixture) {
+  checkGoldenQuickstart(ns::TimeScheme::kGts, "quickstart_gts.csv");
+}
+
+TEST(SolverLtsGolden, QuickstartLtsMatchesCommittedFixture) {
+  checkGoldenQuickstart(ns::TimeScheme::kLtsNextGen, "quickstart_lts.csv");
 }
