@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "solver/simulation.hpp"
+#include "solver/threading.hpp"
 
 using namespace nglts;
 
@@ -19,6 +20,7 @@ double runOnce(int_t mechanisms, double scale, double tEnd) {
   cfg.scheme = solver::TimeScheme::kLtsNextGen;
   cfg.numClusters = 3;
   cfg.attenuationFreq = 1.0;
+  cfg.numThreads = solver::hardwareThreads(); // timing bench: all cores
   solver::Simulation<float, 1> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
   sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
     for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;

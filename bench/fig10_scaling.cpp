@@ -4,7 +4,9 @@
 // 10.37x per-simulation speedup when combining LTS and 16-fold fusion
 // against single-simulation GTS on the same node count. Here ranks are
 // std::threads of the distributed driver (message-passing, face-local
-// compression on), and the combined speedup uses the shared-memory solver.
+// compression on) and each rank's StepExecutor additionally runs
+// `threads` OpenMP threads — the hybrid ranks x threads layout of the
+// scenario CLI's `--ranks`/`--threads`. Emits BENCH_fig10_scaling.json.
 #include <cstdio>
 #include <thread>
 
@@ -15,6 +17,7 @@
 #include "partition/dual_graph.hpp"
 #include "partition/partitioner.hpp"
 #include "solver/simulation.hpp"
+#include "solver/threading.hpp"
 
 using namespace nglts;
 
@@ -41,35 +44,80 @@ int main() {
               static_cast<long long>(sc.mesh.numElements()), sweep.bestLambda,
               clustering.theoreticalSpeedup);
 
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::vector<int_t> rankCounts = {1, 2, 4};
-  if (hw >= 8) rankCounts.push_back(8);
-  if (hw >= 16) rankCounts.push_back(16);
+  bench::JsonReport json;
+  json.set("bench", "fig10_scaling");
+  json.set("scale", scale);
+  json.set("hardware_threads", static_cast<double>(solver::hardwareThreads()));
 
-  Table table({"ranks", "wall s", "updates/s", "speedup", "parallel efficiency", "MB sent"});
-  double base = 0.0;
-  for (int_t ranks : rankCounts) {
+  // One measured (ranks, threads-per-rank) configuration of the hybrid run.
+  auto runHybrid = [&](int_t ranks, int_t threads) {
     const auto parts = partition::partitionGraph(graph, sc.mesh, ranks);
     parallel::DistConfig cfg;
     cfg.sim.order = 4;
     cfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
     cfg.sim.numClusters = 4;
     cfg.sim.lambda = sweep.bestLambda;
+    cfg.sim.numThreads = threads;
     cfg.compressFaces = true;
     cfg.threaded = ranks > 1;
     parallel::DistributedSimulation<float, 1> sim(sc.mesh, sc.materials, parts.part, cfg);
     sim.setInitialCondition(pulse);
     sim.run(sim.cycleDt()); // warm-up
-    const auto st = sim.run(4.0 * sim.cycleDt());
+    return sim.run(4.0 * sim.cycleDt());
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int_t> rankCounts = {1, 2, 4};
+  if (hw >= 8) rankCounts.push_back(8);
+  if (hw >= 16) rankCounts.push_back(16);
+
+  // Rank scaling at one executor thread per rank: pure message-passing
+  // strong scaling, the Fig. 10 axis.
+  Table table({"ranks", "wall s", "updates/s", "speedup", "parallel efficiency", "MB sent"});
+  double base = 0.0;
+  for (int_t ranks : rankCounts) {
+    const auto st = runHybrid(ranks, 1);
     if (base == 0.0) base = st.seconds;
     const double speedup = base / st.seconds;
     table.addRow({std::to_string(ranks), formatNumber(st.seconds, "%.2f"),
                   formatNumber(static_cast<double>(st.elementUpdates) / st.seconds, "%.3g"),
                   formatNumber(speedup, "%.2f"), formatNumber(speedup / ranks, "%.2f"),
                   formatNumber(st.commBytes / 1e6, "%.2f")});
+    json.beginRow();
+    json.rowSet("mode", "rank_scaling");
+    json.rowSet("ranks", static_cast<double>(ranks));
+    json.rowSet("threads_per_rank", 1.0);
+    json.rowSet("seconds", st.seconds);
+    json.rowSet("updates_per_sec", static_cast<double>(st.elementUpdates) / st.seconds);
+    json.rowSet("speedup", speedup);
+    json.rowSet("comm_mb", st.commBytes / 1e6);
   }
   std::printf("%s\n", table.str().c_str());
   table.writeCsv("fig10_scaling.csv");
+
+  // Thread sweep (1 rank) and hybrid ranks x threads combinations: the
+  // threaded StepExecutor inside the rank threads. Same physics, bitwise-
+  // identical results — only the wall clock moves.
+  Table hybrid({"ranks x threads", "wall s", "updates/s", "speedup vs 1x1"});
+  double base11 = 0.0;
+  const std::pair<int_t, int_t> combos[] = {{1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 2}, {4, 2}};
+  for (const auto& [ranks, threads] : combos) {
+    const auto st = runHybrid(ranks, threads);
+    if (base11 == 0.0) base11 = st.seconds;
+    hybrid.addRow({std::to_string(ranks) + " x " + std::to_string(threads),
+                   formatNumber(st.seconds, "%.2f"),
+                   formatNumber(static_cast<double>(st.elementUpdates) / st.seconds, "%.3g"),
+                   formatNumber(base11 / st.seconds, "%.2f")});
+    json.beginRow();
+    json.rowSet("mode", "hybrid_thread_sweep");
+    json.rowSet("ranks", static_cast<double>(ranks));
+    json.rowSet("threads_per_rank", static_cast<double>(threads));
+    json.rowSet("seconds", st.seconds);
+    json.rowSet("updates_per_sec", static_cast<double>(st.elementUpdates) / st.seconds);
+    json.rowSet("speedup_vs_1x1", base11 / st.seconds);
+  }
+  std::printf("%s\n", hybrid.str().c_str());
+  json.write("BENCH_fig10_scaling.json");
 
   // Combined LTS + fused speedup over single-simulation GTS (per simulation),
   // the paper's 10.37x headline (shared-memory solver, all cores).
@@ -82,6 +130,7 @@ int main() {
     cfg.numClusters = 4;
     cfg.autoLambda = scheme != solver::TimeScheme::kGts;
     cfg.sparseKernels = sparse;
+    cfg.numThreads = solver::hardwareThreads();
     solver::Simulation<float, W> sim(std::move(s2.mesh), std::move(s2.materials), cfg);
     sim.setInitialCondition(pulse);
     sim.run(sim.cycleDt());

@@ -11,6 +11,7 @@
 #include "seismo/receiver.hpp"
 #include "seismo/source.hpp"
 #include "solver/simulation.hpp"
+#include "solver/threading.hpp"
 
 using namespace nglts;
 using solver::Simulation;
@@ -38,6 +39,7 @@ int main() {
   base.mechanisms = 3;
   base.attenuationFreq = 1.0;
   base.receiverSampleDt = 0.004;
+  base.numThreads = solver::hardwareThreads(); // wall-clock speedup column
 
   Table table({"configuration", "cycles", "wall s", "speedup", "misfit E vs GTS"});
   std::vector<double> ref;

@@ -23,8 +23,11 @@ BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
 mkdir -p "$OUT_DIR"
 cd "$OUT_DIR"
 
-echo "== tab1_performance (Tab. I throughput + cluster-reorder A/B) =="
+echo "== tab1_performance (Tab. I throughput + reorder A/B + thread sweep) =="
 "$BUILD_DIR/tab1_performance"
+
+echo "== fig10_scaling (rank scaling + hybrid ranks x threads sweep) =="
+"$BUILD_DIR/fig10_scaling"
 
 if [[ -x "$BUILD_DIR/kernel_micro" ]]; then
   echo "== kernel_micro (Sec. IV per-kernel throughput) =="

@@ -5,7 +5,10 @@
 // fused simulations (fully sparse kernels). Reported: element updates per
 // second, GFLOPS-equivalents (useful ops), and speedups over single-run GTS
 // — per fused lane in the fused columns, matching the paper's
-// per-simulation accounting.
+// per-simulation accounting. The main rows run on all hardware threads;
+// a dedicated sweep section measures the threaded StepExecutor at
+// 1/2/4/8 threads (bitwise-identical results, throughput only).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -15,6 +18,7 @@
 #include "partition/dual_graph.hpp"
 #include "partition/partitioner.hpp"
 #include "solver/simulation.hpp"
+#include "solver/threading.hpp"
 
 using namespace nglts;
 
@@ -27,7 +31,7 @@ struct RowResult {
 
 template <int W>
 RowResult runCase(solver::TimeScheme scheme, double lambda, bool sparse, double scale,
-                  double tEnd, bool reorder = true) {
+                  double tEnd, bool reorder = true, int_t threads = -1) {
   bench::Loh3Scenario sc(scale);
   solver::SimConfig cfg;
   cfg.order = 4;
@@ -40,6 +44,7 @@ RowResult runCase(solver::TimeScheme scheme, double lambda, bool sparse, double 
   if (cfg.autoLambda) cfg.lambda = 1.0;
   cfg.sparseKernels = sparse;
   cfg.clusterReorder = reorder;
+  cfg.numThreads = threads > 0 ? threads : solver::hardwareThreads();
   solver::Simulation<float, W> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
   sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
     for (int_t v = 0; v < 9; ++v) q9[v] = 0.0;
@@ -72,6 +77,7 @@ double timeToSolution(solver::TimeScheme scheme, double lambda, bool sparse, dou
   cfg.autoLambda = lambda < 0;
   if (cfg.autoLambda) cfg.lambda = 1.0;
   cfg.sparseKernels = sparse;
+  cfg.numThreads = solver::hardwareThreads();
   solver::Simulation<float, W> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
   sim.run(sim.cycleDt());
   const auto st = sim.run(tEnd);
@@ -144,6 +150,28 @@ int main() {
   json.rowSet("updates_per_sec_index_lists", lists.updatesPerSec);
   json.rowSet("reorder_speedup", packed.updatesPerSec / lists.updatesPerSec);
 
+  // Thread-count sweep of the threaded StepExecutor (static chunks over the
+  // cluster-contiguous ranges, first-touch-matched): the same LTS setting at
+  // 1/2/4/8 threads. Results are bitwise-identical across the sweep — only
+  // throughput moves.
+  {
+    std::printf("\nLTS thread sweep (%lld hardware threads):\n",
+                static_cast<long long>(solver::hardwareThreads()));
+    double oneThread = 0.0;
+    for (int_t t : {1, 2, 4, 8}) {
+      const auto r =
+          runCase<1>(solver::TimeScheme::kLtsNextGen, 1.0, false, scale, tEnd, true, t);
+      if (t == 1) oneThread = r.updatesPerSec;
+      std::printf("  %lld threads: %.3g element updates/s (%.2fx vs 1 thread)\n",
+                  static_cast<long long>(t), r.updatesPerSec, r.updatesPerSec / oneThread);
+      json.beginRow();
+      json.rowSet("configuration", "EDGE LTS (1.0) thread sweep");
+      json.rowSet("threads", static_cast<double>(t));
+      json.rowSet("updates_per_sec", r.updatesPerSec);
+      json.rowSet("speedup_vs_1thread", r.updatesPerSec / oneThread);
+    }
+  }
+
   // Distributed LTS on the unified engine (Sec. V-C): 2-rank ThreadComm run
   // of the same LOH.3-like setting, raw 9xB vs face-local 9xF payloads.
   {
@@ -163,6 +191,7 @@ int main() {
       dcfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
       dcfg.sim.numClusters = 3;
       dcfg.sim.lambda = 1.0;
+      dcfg.sim.numThreads = std::max<int_t>(1, solver::hardwareThreads() / 2);
       dcfg.compressFaces = mode == 1;
       dcfg.threaded = true;
       parallel::DistributedSimulation<float, 1> dist(sc.mesh, sc.materials, parts.part, dcfg);

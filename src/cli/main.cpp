@@ -27,6 +27,9 @@ void printUsage() {
       "      --fused W         fused-simulation width (1|2 double, 1|8|16 float scenarios)\n"
       "      --end-time T      simulated end time [s]\n"
       "      --ranks N         distributed ranks (> 1 runs the message-passing engine)\n"
+      "      --threads N       OpenMP threads per rank for the solver loops (>= 1;\n"
+      "                        default: hardware threads / ranks; results are\n"
+      "                        bitwise-identical for every value)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
@@ -102,6 +105,8 @@ int main(int argc, char** argv) {
       opts.endTime = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--ranks") {
       opts.ranks = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--threads") {
+      opts.threads = parseInt(arg, requireValue(argc, argv, i));
     } else if (arg == "--lambda") {
       opts.lambda = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--scale") {

@@ -43,6 +43,11 @@ struct ScenarioOptions {
   /// dual-graph partition instead of the shared-memory solver; results are
   /// bitwise-identical to the single-rank run (Sec. V-C).
   std::optional<int_t> ranks;
+  /// OpenMP threads per rank for the executor's element loops
+  /// (`SimConfig::numThreads`, >= 1; 1 = serial). Unset = all hardware
+  /// threads divided evenly among the ranks. Results are bitwise-identical
+  /// for every value — a pure performance knob.
+  std::optional<int_t> threads;
   /// Fixed cluster-growth control parameter lambda (>= 0); setting it
   /// disables the scenario's automatic lambda sweep (Sec. V-A).
   std::optional<double> lambda;

@@ -26,6 +26,7 @@
 #include "seismo/source.hpp"
 #include "seismo/velocity_model.hpp"
 #include "solver/setup.hpp"
+#include "solver/threading.hpp"
 
 namespace nglts::cli {
 namespace {
@@ -54,10 +55,14 @@ void progressf(const ScenarioOptions& opts, const char* fmt, ...) {
   std::fflush(stdout);
 }
 
-/// Apply the generic SimConfig overrides (order, scheme, clusters, lambda)
-/// and range-check them, plus the options consumed elsewhere (endTime,
-/// meshScale); fusedWidth is checked per scenario by resolveWidth.
-void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts) {
+/// Apply the generic SimConfig overrides (order, scheme, clusters, lambda,
+/// threads) and range-check them, plus the options consumed elsewhere
+/// (endTime, meshScale); fusedWidth is checked per scenario by resolveWidth.
+/// `defaultRanks` is the scenario's rank count when `--ranks` is unset (1
+/// for the shared-memory scenarios, lahabra passes its distributed
+/// default) — it only feeds the `--threads` default below.
+void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
+                    int_t defaultRanks = 1) {
   if (opts.order) cfg.order = *opts.order;
   if (opts.scheme) cfg.scheme = *opts.scheme;
   if (opts.numClusters) cfg.numClusters = *opts.numClusters;
@@ -77,6 +82,16 @@ void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts) {
     throw std::invalid_argument("mesh scale must be > 0");
   if (opts.ranks && *opts.ranks < 1)
     throw std::invalid_argument("ranks must be >= 1");
+  // Executor threads per rank: explicit --threads wins; the default splits
+  // the hardware threads evenly among the ranks (hybrid --ranks x --threads
+  // runs). Results are bitwise-identical for every valid value.
+  const int_t nRanks = std::max<int_t>(1, opts.ranks.value_or(defaultRanks));
+  cfg.numThreads = opts.threads.value_or(
+      std::max<int_t>(1, solver::hardwareThreads() / nRanks));
+  if (cfg.numThreads < 1)
+    throw std::invalid_argument("threads must be >= 1, got " +
+                                std::to_string(cfg.numThreads) +
+                                " (--threads 0 is not a serial run; use --threads 1)");
 }
 
 /// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
@@ -453,6 +468,10 @@ class Loh3Scenario final : public Scenario {
 
 class LaHabraScenario final : public Scenario {
  public:
+  /// Distributed by default: partition count when `--ranks` is unset (also
+  /// the rank count the `--threads` default divides by).
+  static constexpr int_t kDefaultRanks = 4;
+
   std::string name() const override { return "lahabra"; }
   std::string description() const override {
     return "La Habra-like basin through the full preprocessing pipeline, then "
@@ -468,7 +487,7 @@ class LaHabraScenario final : public Scenario {
     cfg.numClusters = 5;
     cfg.autoLambda = true;
     cfg.sparseKernels = opts.fusedWidth.value_or(1) > 1; // fused => all-sparse kernels
-    applyOverrides(cfg, opts);
+    applyOverrides(cfg, opts, kDefaultRanks); // distributed by default
     resolveWidth(opts, 1, {1, 8, 16}, "lahabra");
     // GTS in the distributed driver is LTS with a single cluster.
     if (cfg.scheme == solver::TimeScheme::kGts) cfg.numClusters = 1;
@@ -506,7 +525,7 @@ class LaHabraScenario final : public Scenario {
     pcfg.numClusters = cfg.numClusters;
     pcfg.autoLambda = cfg.autoLambda && cfg.scheme != solver::TimeScheme::kGts;
     pcfg.lambda = cfg.lambda;
-    pcfg.numPartitions = opts.ranks.value_or(4);
+    pcfg.numPartitions = opts.ranks.value_or(kDefaultRanks);
 
     progressf(opts, "running preprocessing pipeline...\n");
     pre::PipelineResult pipe = pre::runPipeline(model, pcfg);

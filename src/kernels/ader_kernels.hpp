@@ -66,16 +66,10 @@ class AderKernels {
   }
   std::size_t faceDataSize() const { return static_cast<std::size_t>(kElasticVars) * nf_ * W; }
 
+  /// One thread's scratch. The executor owns one per thread through its
+  /// `solver::WorkspacePool` (solver/threading.hpp); tests and
+  /// microbenchmarks call this directly.
   Scratch makeScratch() const;
-
-  /// Per-thread scratch pool; ownership lives with the step executor
-  /// (solver/executor.hpp), one entry per OpenMP thread.
-  std::vector<Scratch> makeScratchPool(int_t nThreads) const {
-    std::vector<Scratch> pool;
-    pool.reserve(nThreads);
-    for (int_t t = 0; t < nThreads; ++t) pool.push_back(makeScratch());
-    return pool;
-  }
 
   // -- time kernel ----------------------------------------------------------
 

@@ -27,8 +27,12 @@
 //
 // With SeqComm the ranks execute each schedule op in deterministic lockstep
 // on one thread; with ThreadComm each rank runs on its own std::thread and
-// receives block. Both are bitwise-reproducible and bitwise-identical to
-// the single-rank `Simulation`: per-element updates are order-deterministic
+// receives block. In both modes every rank's `StepExecutor` additionally
+// threads its element loops over `SimConfig::numThreads` OpenMP threads
+// (the hybrid `--ranks x --threads` layout — rank std::threads are OpenMP
+// initial threads, so the teams nest without configuration). All
+// combinations are bitwise-reproducible and bitwise-identical to the
+// single-rank `Simulation`: per-element updates are order-deterministic
 // regardless of threading, and every cross-rank payload carries exactly the
 // values the shared-memory policy would have read.
 #include <cstdint>

@@ -7,10 +7,6 @@
 // shared `StepExecutor` — there is no duplicated update loop here.
 #include "parallel/dist_sim.hpp"
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -396,23 +392,18 @@ DistStats DistributedSimulation<Real, W>::run(double endTime) {
       for (const lts::ScheduleOp& op : schedule_)
         for (auto& rank : ranks_) stepOp(*rank, op);
   } else {
-    // Split the cores between the rank threads; the executors' scratch
-    // pools were sized for the full team on the main thread, so any
-    // smaller per-rank team indexes them safely.
-    int threadsPerRank = 1;
-#ifdef _OPENMP
-    threadsPerRank = std::max(1, omp_get_max_threads() / numRanks_);
-#endif
+    // One std::thread per rank. Each rank thread is an OpenMP *initial*
+    // thread, so the executor's `num_threads(cfg.sim.numThreads)` element
+    // loops fork their own team inside it — the hybrid `--ranks x
+    // --threads` layout uses numRanks_ * numThreads cores with no nested-
+    // parallelism configuration. The communicator itself never runs under
+    // OpenMP: sends/receives happen between schedule ops on the rank
+    // thread.
     std::vector<std::thread> threads;
     threads.reserve(numRanks_);
     for (auto& rankPtr : ranks_) {
       Rank* rank = rankPtr.get();
-      threads.emplace_back([this, rank, cycles, threadsPerRank] {
-#ifdef _OPENMP
-        omp_set_num_threads(threadsPerRank);
-#else
-        (void)threadsPerRank;
-#endif
+      threads.emplace_back([this, rank, cycles] {
         for (std::uint64_t c = 0; c < cycles; ++c)
           for (const lts::ScheduleOp& op : schedule_) stepOp(*rank, op);
       });

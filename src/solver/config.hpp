@@ -62,6 +62,13 @@ struct SimConfig {
   /// element ids (`dofs()`, `sample()`, receivers) are unaffected. Off
   /// keeps the original mesh order — for A/B layout comparisons and tests.
   bool clusterReorder = true;
+  /// OpenMP threads the `StepExecutor` element loops and the arena's NUMA
+  /// first-touch pass use (per rank in distributed runs). Valid: >= 1;
+  /// 1 = serial. Results are bitwise-identical for every value — each
+  /// element belongs to exactly one static chunk (solver/threading.hpp) —
+  /// so this is purely a performance knob. The CLI defaults it to the
+  /// hardware thread count divided by `--ranks`.
+  int_t numThreads = 1;
 };
 
 /// Validate the pure-config ranges above; throws `std::invalid_argument`
@@ -82,6 +89,8 @@ inline void validateSimConfig(const SimConfig& cfg) {
     throw std::invalid_argument("SimConfig: attenuationFreq must be > 0 for anelastic runs");
   if (cfg.receiverSampleDt < 0.0)
     throw std::invalid_argument("SimConfig: receiverSampleDt must be >= 0");
+  if (cfg.numThreads < 1)
+    throw std::invalid_argument("SimConfig: numThreads must be >= 1 (1 = serial)");
 }
 
 struct PerfStats {

@@ -1,16 +1,5 @@
 #include "solver/executor.hpp"
 
-#ifdef _OPENMP
-#include <omp.h>
-#else
-// Serial build (NGLTS_ENABLE_OPENMP=OFF, e.g. the TSan CI job): the pragmas
-// degrade to comments and the thread-id queries collapse to one thread.
-namespace {
-int omp_get_max_threads() { return 1; }
-int omp_get_thread_num() { return 0; }
-} // namespace
-#endif
-
 #include <stdexcept>
 
 namespace nglts::solver {
@@ -103,6 +92,13 @@ class BufferDerivativeNeighborData final : public NeighborDataPolicy<Real, W> {
   std::vector<double> clusterDt_;
 };
 
+/// Validated before `WorkspacePool` sizes anything off it (the facades
+/// validate too; this covers direct executor construction in tests).
+int_t checkedThreads(int_t numThreads) {
+  if (numThreads < 1) throw std::invalid_argument("StepExecutor: numThreads must be >= 1");
+  return numThreads;
+}
+
 } // namespace
 
 template <typename Real, int W>
@@ -134,16 +130,37 @@ StepExecutor<Real, W>::StepExecutor(const SimConfig& cfg,
       clusterStep_(clustering.numClusters, 0),
       hook_(hook),
       policy_(policy ? std::move(policy)
-                     : makeNeighborDataPolicy<Real, W>(cfg, state, kernels, clusterDt_)) {
-  const int_t nThreads = omp_get_max_threads();
-  scratch_ = kernels_.makeScratchPool(nThreads);
-  for (int_t t = 0; t < nThreads; ++t) recStack_.emplace_back(state_.stackSize(), Real(0));
-  threadFlops_.assign(nThreads, 0);
+                     : makeNeighborDataPolicy<Real, W>(cfg, state, kernels, clusterDt_)),
+      nThreads_(checkedThreads(cfg.numThreads)),
+      pool_(kernels, state.stackSize(), nThreads_) {}
+
+template <typename Real, int W>
+template <typename Fn>
+void StepExecutor<Real, W>::parallelElements(int_t cluster, Fn&& fn) {
+  // Static chunks of the contiguous range are themselves contiguous: the
+  // arena streaming of the reordered layout survives, and the element→chunk
+  // map matches the first-touch pass of SolverState — thread t walks pages
+  // it placed. The map depends only on (range, numThreads), so results are
+  // bitwise-identical for every thread count.
+  if (state_.contiguousClusters()) {
+    const idx_t begin = state_.clusterBegin(cluster), end = state_.clusterEnd(cluster);
+    forEachChunk(nThreads_, [&](int_t t) {
+      const ChunkRange c = staticChunk(begin, end, nThreads_, t);
+      for (idx_t el = c.begin; el < c.end; ++el) fn(el, t);
+    });
+  } else {
+    const auto& elems = state_.clusterElems(cluster);
+    forEachChunk(nThreads_, [&](int_t t) {
+      const ChunkRange c = staticChunk(0, static_cast<idx_t>(elems.size()), nThreads_, t);
+      for (idx_t i = c.begin; i < c.end; ++i) fn(elems[i], t);
+    });
+  }
 }
 
 template <typename Real, int W>
 void StepExecutor<Real, W>::localElement(idx_t el, double dt, double t0, bool odd, int_t tid) {
-  auto& s = scratch_[tid];
+  auto& w = pool_[tid];
+  auto& s = w.scratch;
   std::uint64_t flops = 0;
   Real* q = state_.q(el);
   Real* b1 = state_.b1(el);
@@ -152,14 +169,14 @@ void StepExecutor<Real, W>::localElement(idx_t el, double dt, double t0, bool od
   const bool arenaStack = policy_->needsDerivStack();
   const bool hookStack = hook_ && hook_->wantsStack(el);
   Real* stack = arenaStack ? state_.derivStack(el)
-                           : (hookStack ? recStack_[tid].data() : nullptr);
+                           : (hookStack ? w.recStack.data() : nullptr);
 
   flops += kernels_.timePredict(state_.elementData(el), q, static_cast<Real>(dt),
                                 s.timeInt.data(), b1, b2, b3, odd, s, stack);
   flops += kernels_.volumeAndLocalSurface(state_.elementData(el), s.timeInt.data(), q, s);
 
   if (hook_) hook_->afterLocal(el, q, stack, t0, dt, flops);
-  threadFlops_[tid] += flops;
+  w.flops += flops;
 }
 
 template <typename Real, int W>
@@ -168,26 +185,14 @@ void StepExecutor<Real, W>::localPhase(int_t cluster) {
   const idx_t step = clusterStep_[cluster];
   const bool odd = (step % 2) != 0;
   const double t0 = step * dt;
-
-  if (state_.contiguousClusters()) {
-    // Guided chunks of a contiguous range are themselves contiguous: the
-    // arena streaming of the reordered layout survives, and late chunks
-    // shrink to balance the per-element load (sources, receivers, faces).
-    const idx_t begin = state_.clusterBegin(cluster), end = state_.clusterEnd(cluster);
-#pragma omp parallel for schedule(guided)
-    for (idx_t el = begin; el < end; ++el)
-      localElement(el, dt, t0, odd, omp_get_thread_num());
-  } else {
-    const auto& elems = state_.clusterElems(cluster);
-#pragma omp parallel for schedule(guided)
-    for (std::size_t i = 0; i < elems.size(); ++i)
-      localElement(elems[i], dt, t0, odd, omp_get_thread_num());
-  }
+  parallelElements(cluster,
+                   [&](idx_t el, int_t tid) { localElement(el, dt, t0, odd, tid); });
 }
 
 template <typename Real, int W>
 void StepExecutor<Real, W>::neighborElement(idx_t el, idx_t step, int_t tid) {
-  auto& s = scratch_[tid];
+  auto& w = pool_[tid];
+  auto& s = w.scratch;
   std::uint64_t flops = 0;
   Real* q = state_.q(el);
   const auto& faces = state_.internalMesh().faces[el];
@@ -201,23 +206,13 @@ void StepExecutor<Real, W>::neighborElement(idx_t el, idx_t step, int_t tid) {
       flops += kernels_.neighborContribution(state_.elementData(el), f, fi.neighborFace,
                                              fi.perm, data, q, s);
   }
-  threadFlops_[tid] += flops;
+  w.flops += flops;
 }
 
 template <typename Real, int W>
 void StepExecutor<Real, W>::neighborPhase(int_t cluster) {
   const idx_t step = clusterStep_[cluster];
-
-  if (state_.contiguousClusters()) {
-    const idx_t begin = state_.clusterBegin(cluster), end = state_.clusterEnd(cluster);
-#pragma omp parallel for schedule(guided)
-    for (idx_t el = begin; el < end; ++el) neighborElement(el, step, omp_get_thread_num());
-  } else {
-    const auto& elems = state_.clusterElems(cluster);
-#pragma omp parallel for schedule(guided)
-    for (std::size_t i = 0; i < elems.size(); ++i)
-      neighborElement(elems[i], step, omp_get_thread_num());
-  }
+  parallelElements(cluster, [&](idx_t el, int_t tid) { neighborElement(el, step, tid); });
   ++clusterStep_[cluster];
 }
 
@@ -236,12 +231,7 @@ void StepExecutor<Real, W>::runCycle() {
 
 template <typename Real, int W>
 std::uint64_t StepExecutor<Real, W>::drainFlops() {
-  std::uint64_t sum = 0;
-  for (auto& f : threadFlops_) {
-    sum += f;
-    f = 0;
-  }
-  return sum;
+  return pool_.drainFlops();
 }
 
 template class StepExecutor<float, 1>;

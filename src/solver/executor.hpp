@@ -1,17 +1,24 @@
 #pragma once
 // Layer 2 of the solver core: schedule execution. `StepExecutor` runs the
 // flattened rate-2 LTS op sequence (lts::ScheduleOp, paper Sec. V-B) over
-// the cluster-contiguous element ranges of a `SolverState`, with one OpenMP
-// parallel loop per (phase, cluster) op. The three neighbor-data paradigms
-// — GTS direct-B1, the paper's next-generation three-buffer scheme, and the
-// buffer+derivative baseline of [15] — are strategy classes behind the
-// `NeighborDataPolicy` interface instead of `if (scheme)` branches in the
-// hot loop.
+// the cluster-contiguous element ranges of a `SolverState`, one parallel
+// region per (phase, cluster) op: the op's range is cut into
+// `SimConfig::numThreads` static contiguous chunks (solver/threading.hpp)
+// and chunk t runs on thread t — the same map the arena's NUMA first-touch
+// pass used, so every thread streams through pages it placed itself. The
+// three neighbor-data paradigms — GTS direct-B1, the paper's
+// next-generation three-buffer scheme, and the buffer+derivative baseline
+// of [15] — are strategy classes behind the `NeighborDataPolicy` interface
+// instead of `if (scheme)` branches in the hot loop.
 //
-// The executor owns the per-thread kernel scratch pool and the per-thread
-// receiver derivative stacks; sources and receivers themselves stay in the
-// Simulation facade, which participates through the `LocalHook` extension
-// point (called after the kernel local phase of each element).
+// The executor owns the per-thread `WorkspacePool` (kernel scratch,
+// receiver derivative stacks, flop counters); sources and receivers stay in
+// the Simulation facade, which participates through the `LocalHook`
+// extension point (called after the kernel local phase of each element).
+// Results are bitwise-identical for every `numThreads`: each element is
+// updated by exactly one chunk in a fixed order, neighbor reads go through
+// the double-buffered policy data, and hook state is only touched from the
+// element that owns it.
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -23,6 +30,7 @@
 #include "lts/schedule.hpp"
 #include "solver/config.hpp"
 #include "solver/state.hpp"
+#include "solver/threading.hpp"
 
 namespace nglts::solver {
 
@@ -70,7 +78,13 @@ class StepExecutor {
 
   /// Facade extension point, invoked inside the local-phase element loop
   /// after the kernels ran (source injection, receiver sampling). Internal
-  /// element ids; implementations must be thread-safe across elements.
+  /// element ids. Thread-safety contract: an op's element range is
+  /// partitioned across threads, so `afterLocal` runs concurrently for
+  /// *different* elements but never twice for the same element within an
+  /// op — implementations may freely mutate state keyed by `internalEl`
+  /// (per-source, per-receiver accumulators) and must not mutate anything
+  /// shared across elements. Accumulation order per element-bound object is
+  /// then deterministic regardless of the thread count.
   class LocalHook {
    public:
     virtual ~LocalHook() = default;
@@ -112,6 +126,10 @@ class StepExecutor {
   void neighborPhase(int_t cluster);
   void localElement(idx_t el, double dt, double t0, bool odd, int_t tid);
   void neighborElement(idx_t el, idx_t step, int_t tid);
+  /// Run `fn(el, tid)` over the op's element range in numThreads static
+  /// chunks (contiguous range or index-list fallback, see threading.hpp).
+  template <typename Fn>
+  void parallelElements(int_t cluster, Fn&& fn);
 
   const kernels::AderKernels<Real, W>& kernels_;
   SolverState<Real, W>& state_;
@@ -121,9 +139,8 @@ class StepExecutor {
   LocalHook* hook_ = nullptr;
   std::unique_ptr<NeighborDataPolicy<Real, W>> policy_;
 
-  std::vector<Scratch> scratch_;              ///< per thread
-  std::vector<aligned_vector<Real>> recStack_; ///< per-thread receiver stacks
-  std::vector<std::uint64_t> threadFlops_;
+  int_t nThreads_ = 1;           ///< SimConfig::numThreads (validated >= 1)
+  WorkspacePool<Real, W> pool_;  ///< per-thread scratch/recStack/flops
 };
 
 extern template class StepExecutor<float, 1>;

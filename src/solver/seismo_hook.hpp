@@ -8,6 +8,16 @@
 // caller's mesh, or a rank-local halo view) and hand the hook to their
 // executor.
 //
+// Thread-safety under the threaded executor: every mutable object here is
+// keyed by the element that owns it — source coefficients inject into the
+// owning element's DOFs, a receiver's traces are appended only from its
+// element's `afterLocal` — and the executor visits each element exactly
+// once per op, on exactly one thread. Different elements' hooks run
+// concurrently without sharing state, and each receiver's samples are
+// appended in the element's fixed step order: the merge order is
+// deterministic and independent of `SimConfig::numThreads` (asserted
+// bitwise by tests/test_threaded_equivalence).
+//
 // Also hosts the shared L2 initial-condition projection, so single-process
 // and distributed runs start from bitwise-identical modal DOFs.
 #include <array>

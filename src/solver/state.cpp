@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "kernels/kernel_setup.hpp"
+#include "solver/threading.hpp"
 
 namespace nglts::solver {
 
@@ -64,43 +65,42 @@ SolverState<Real, W>::SolverState(const mesh::TetMesh& externalMesh,
   const bool useStack = cfg.scheme == TimeScheme::kLtsBaseline;
 
   // resize() leaves arena_vector pages untouched (FirstTouchAllocator); the
-  // zero-fill below is the NUMA first-touch pass, spreading each cluster's
-  // pages across the worker threads' memory nodes (see state.hpp header).
+  // zero-fill below is the NUMA first-touch pass. Each cluster range is cut
+  // into the *same* cfg.numThreads static chunks the StepExecutor's element
+  // loops use (solver/threading.hpp), so every page is first touched — and
+  // therefore placed — on the memory node of the thread that later computes
+  // its elements.
   q_.resize(n * elSize_);
   b1_.resize(n * bufSize_);
   if (useB2_) b2_.resize(n * bufSize_);
   if (useB3_) b3_.resize(n * bufSize_);
   if (useStack) derivStack_.resize(n * stackSize_);
 
+  // Invalid thread counts are rejected by validateSimConfig / the executor;
+  // clamp here so a bare SolverState (tests) never divides by zero.
+  const int_t nt = cfg.numThreads < 1 ? 1 : cfg.numThreads;
+  auto zeroElement = [&](idx_t el) {
+    linalg::zeroBlock(q(el), elSize_);
+    linalg::zeroBlock(b1(el), bufSize_);
+    if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
+    if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
+    if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
+  };
+  auto zeroRange = [&](idx_t begin, idx_t end) {
+    forEachChunk(nt, [&](int_t t) {
+      const ChunkRange c = staticChunk(begin, end, nt, t);
+      for (idx_t el = c.begin; el < c.end; ++el) zeroElement(el);
+    });
+  };
   if (contiguous_) {
-    for (int_t c = 0; c < numClusters_; ++c) {
-      const idx_t begin = clusterBegin(c), end = clusterEnd(c);
-#pragma omp parallel for schedule(static)
-      for (idx_t el = begin; el < end; ++el) {
-        linalg::zeroBlock(q(el), elSize_);
-        linalg::zeroBlock(b1(el), bufSize_);
-        if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
-        if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
-        if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
-      }
-    }
-#pragma omp parallel for schedule(static)
-    for (idx_t el = numOwned_; el < n; ++el) { // halo suffix
-      linalg::zeroBlock(q(el), elSize_);
-      linalg::zeroBlock(b1(el), bufSize_);
-      if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
-      if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
-      if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
-    }
+    for (int_t c = 0; c < numClusters_; ++c) zeroRange(clusterBegin(c), clusterEnd(c));
+    zeroRange(numOwned_, n); // halo suffix (filled from messages, never stepped)
   } else {
-#pragma omp parallel for schedule(static)
-    for (idx_t el = 0; el < n; ++el) {
-      linalg::zeroBlock(q(el), elSize_);
-      linalg::zeroBlock(b1(el), bufSize_);
-      if (useB2_) linalg::zeroBlock(b2(el), bufSize_);
-      if (useB3_) linalg::zeroBlock(b3(el), bufSize_);
-      if (useStack) linalg::zeroBlock(derivStack(el), stackSize_);
-    }
+    // Index-list fallback: chunk the internal index space directly — the
+    // executor's list chunks don't map to contiguous ranges here, so this
+    // layout only spreads pages, it cannot pin them to their computing
+    // thread (one more reason clusterReorder is the default).
+    zeroRange(0, n);
   }
 }
 

@@ -11,11 +11,12 @@
 // lists.
 //
 // All arenas are NUMA first-touch initialized by a parallel per-cluster
-// zero-fill pass (arena_vector's resize leaves pages untouched): each
-// cluster's pages spread over the worker threads' local memory nodes
-// instead of all landing on the allocating socket. The executor's guided
-// loops don't pin elements to threads, so this is page *spreading*, not
-// exact thread affinity.
+// zero-fill pass (arena_vector's resize leaves pages untouched) that uses
+// the *same* static chunking as the executor's element loops
+// (solver/threading.hpp, SimConfig::numThreads): the thread that zeroes —
+// and thereby places — a cluster chunk's pages is the thread that computes
+// those elements every step, so the hot loops stream through node-local
+// memory.
 //
 // External element ids (the mesh order the caller built sources, receivers
 // and tests against) are mapped to internal arena slots via

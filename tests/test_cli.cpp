@@ -76,12 +76,24 @@ TEST(Scenarios, FlagOverridesApply) {
   opts.scheme = TimeScheme::kGts;
   opts.numClusters = 5;
   opts.lambda = 0.7;
+  opts.threads = 2;
   const auto cfg = s->resolveConfig(opts);
   EXPECT_EQ(cfg.order, 3);
   EXPECT_EQ(cfg.scheme, TimeScheme::kGts);
   EXPECT_EQ(cfg.numClusters, 5);
   EXPECT_DOUBLE_EQ(cfg.lambda, 0.7);
   EXPECT_FALSE(cfg.autoLambda);
+  EXPECT_EQ(cfg.numThreads, 2);
+}
+
+TEST(Scenarios, ThreadsDefaultIsPositiveOnEveryScenario) {
+  // Unset --threads resolves to hardware threads / ranks, never below 1.
+  for (const nc::Scenario* s : registry().list()) {
+    EXPECT_GE(s->resolveConfig({}).numThreads, 1) << s->name();
+    nc::ScenarioOptions manyRanks;
+    manyRanks.ranks = 1024; // more ranks than cores must still give >= 1
+    EXPECT_GE(s->resolveConfig(manyRanks).numThreads, 1) << s->name();
+  }
 }
 
 TEST(Scenarios, OutOfRangeOverridesThrow) {
@@ -108,6 +120,14 @@ TEST(Scenarios, OutOfRangeOverridesThrow) {
   EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
   bad = {};
   bad.ranks = 0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  // --threads 0 is a hard error (it is not "serial"; that is --threads 1).
+  bad = {};
+  bad.threads = 0;
+  EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
+  EXPECT_THROW(s->run(bad), std::invalid_argument);
+  bad = {};
+  bad.threads = -4;
   EXPECT_THROW(s->resolveConfig(bad), std::invalid_argument);
 }
 
