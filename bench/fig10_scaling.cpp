@@ -46,6 +46,7 @@ int main() {
 
   bench::JsonReport json;
   json.set("bench", "fig10_scaling");
+  json.set("kernel_backend", bench::benchKernelLabel());
   json.set("scale", scale);
   json.set("hardware_threads", static_cast<double>(solver::hardwareThreads()));
 
@@ -57,6 +58,7 @@ int main() {
     cfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
     cfg.sim.numClusters = 4;
     cfg.sim.lambda = sweep.bestLambda;
+    cfg.sim.kernelBackend = bench::benchKernelBackend();
     cfg.sim.numThreads = threads;
     cfg.compressFaces = true;
     cfg.threaded = ranks > 1;
@@ -130,6 +132,7 @@ int main() {
     cfg.numClusters = 4;
     cfg.autoLambda = scheme != solver::TimeScheme::kGts;
     cfg.sparseKernels = sparse;
+    cfg.kernelBackend = bench::benchKernelBackend();
     cfg.numThreads = solver::hardwareThreads();
     solver::Simulation<float, W> sim(std::move(s2.mesh), std::move(s2.materials), cfg);
     sim.setInitialCondition(pulse);

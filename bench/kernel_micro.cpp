@@ -4,6 +4,14 @@
 // (fused simulations), across convergence orders. The fused sparse path
 // removes the zero operations of the dense path — the paper reports 59.8%
 // zeros at O = 5 with three mechanisms.
+//
+// Every benchmark takes a trailing `vector` argument (0 = scalar reference
+// backend, 1 = explicit-SIMD vector backend; docs/KERNELS.md), so
+// BENCH_kernel.json carries per-backend A/B rows both for the raw
+// dispatched small-GEMM kernels (smallGemm* below, including the fused
+// W = 4 shapes the backend acceptance gate compares) and for the full ADER
+// updates. Both backends produce bitwise-identical results — these rows
+// measure throughput only.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -13,6 +21,7 @@
 
 #include "kernels/ader_kernels.hpp"
 #include "kernels/kernel_setup.hpp"
+#include "linalg/small_gemm_dispatch.hpp"
 #include "mesh/box_gen.hpp"
 #include "mesh/geometry.hpp"
 #include "physics/attenuation.hpp"
@@ -20,6 +29,10 @@
 using namespace nglts;
 
 namespace {
+
+linalg::KernelBackend backendArg(const benchmark::State& state, int idx) {
+  return state.range(idx) ? linalg::KernelBackend::kVector : linalg::KernelBackend::kScalar;
+}
 
 struct Fixture {
   mesh::TetMesh mesh;
@@ -56,7 +69,8 @@ void localUpdate(benchmark::State& state) {
   const bool sparse = state.range(1);
   const int_t mechs = state.range(2);
   auto& f = fixture(mechs);
-  kernels::AderKernels<float, W> kern(order, mechs, sparse, f.mats[0].omega);
+  kernels::AderKernels<float, W> kern(order, mechs, sparse, f.mats[0].omega,
+                                      backendArg(state, 3));
   auto s = kern.makeScratch();
   aligned_vector<float> q(kern.dofsPerElement()), b1(kern.elasticDofsPerElement());
   std::mt19937 rng(1);
@@ -81,7 +95,8 @@ void neighborUpdate(benchmark::State& state) {
   const int_t order = state.range(0);
   const bool sparse = state.range(1);
   auto& f = fixture(3);
-  kernels::AderKernels<float, W> kern(order, 3, sparse, f.mats[0].omega);
+  kernels::AderKernels<float, W> kern(order, 3, sparse, f.mats[0].omega,
+                                      backendArg(state, 2));
   auto s = kern.makeScratch();
   aligned_vector<float> q(kern.dofsPerElement()), nb(kern.elasticDofsPerElement());
   std::mt19937 rng(2);
@@ -97,7 +112,7 @@ void neighborUpdate(benchmark::State& state) {
 void compress(benchmark::State& state) {
   const int_t order = state.range(0);
   auto& f = fixture(3);
-  kernels::AderKernels<float, 1> kern(order, 3, false, f.mats[0].omega);
+  kernels::AderKernels<float, 1> kern(order, 3, false, f.mats[0].omega, backendArg(state, 1));
   aligned_vector<float> buf(kern.elasticDofsPerElement(), 0.5f), out(kern.faceDataSize());
   for (auto _ : state) {
     kern.compressBuffer(0, 0, buf.data(), out.data());
@@ -105,17 +120,151 @@ void compress(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Raw dispatched small-GEMM kernels, scalar vs vector backend A/B: the two
+// operator shapes (star / right) in dense and CSR form at the real DG
+// operand shapes — an element star Jacobian (9 x 9, static zero blocks) and
+// the order's stiffness operator (B x B, modal sparsity). The W = 4 rows of
+// smallGemmStar{Dense,Csr} / smallGemmRight{Dense,Csr} are the backend
+// acceptance gate (vector >= 1.3x scalar, docs/KERNELS.md).
+// ---------------------------------------------------------------------------
+
+template <typename Real>
+linalg::Matrix starMatrix(const kernels::ElementData<Real>& ed) {
+  linalg::Matrix m(9, 9);
+  for (int_t r = 0; r < 9; ++r)
+    for (int_t c = 0; c < 9; ++c) m(r, c) = ed.starE[0][r * 9 + c];
+  return m;
+}
+
+aligned_vector<float> randomOperand(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> uni(-1, 1);
+  aligned_vector<float> v(n);
+  for (auto& x : v) x = uni(rng);
+  return v;
+}
+
+template <int W>
+void smallGemmStarDense(benchmark::State& state) {
+  const int_t nb = numBasis3d(state.range(0));
+  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const linalg::SmallOp<float> star(starMatrix(fixture(3).ed[0]));
+  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 21);
+  aligned_vector<float> o(d.size(), 0.0f);
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    flops += ops.starDense(9, 9, nb, nb, star.dense.data(), d.data(), o.data());
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+
+template <int W>
+void smallGemmStarCsr(benchmark::State& state) {
+  const int_t nb = numBasis3d(state.range(0));
+  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const linalg::SmallOp<float> star(starMatrix(fixture(3).ed[0]));
+  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 22);
+  aligned_vector<float> o(d.size(), 0.0f);
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    flops += ops.starCsr(star.csr, nb, nb, d.data(), o.data());
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+
+template <int W>
+void smallGemmRightDense(benchmark::State& state) {
+  const int_t order = state.range(0);
+  const int_t nb = numBasis3d(order);
+  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const auto gm = basis::buildGlobalMatrices(order);
+  const linalg::SmallOp<float> stiff(gm->kXi[0]);
+  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 23);
+  aligned_vector<float> o(d.size(), 0.0f);
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    flops += ops.rightDense(9, nb, nb, stiff.cols, d.data(), stiff.dense.data(), o.data(), nb,
+                            nb);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+
+template <int W>
+void smallGemmRightCsr(benchmark::State& state) {
+  const int_t order = state.range(0);
+  const int_t nb = numBasis3d(order);
+  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const auto gm = basis::buildGlobalMatrices(order);
+  const linalg::SmallOp<float> stiff(gm->kXi[0]);
+  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 24);
+  aligned_vector<float> o(d.size(), 0.0f);
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    flops += ops.rightCsr(9, nb, stiff.csr, d.data(), o.data(), nb, nb);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 BENCHMARK(localUpdate<1>)
-    ->ArgsProduct({{3, 4, 5}, {0, 1}, {0, 3}})
-    ->ArgNames({"order", "sparse", "mechs"});
+    ->ArgsProduct({{3, 4, 5}, {0, 1}, {0, 3}, {0, 1}})
+    ->ArgNames({"order", "sparse", "mechs", "vector"});
 BENCHMARK(localUpdate<16>)
-    ->ArgsProduct({{3, 4, 5}, {1}, {3}})
-    ->ArgNames({"order", "sparse", "mechs"});
-BENCHMARK(neighborUpdate<1>)->ArgsProduct({{3, 4, 5}, {0, 1}})->ArgNames({"order", "sparse"});
-BENCHMARK(neighborUpdate<16>)->ArgsProduct({{4}, {1}})->ArgNames({"order", "sparse"});
-BENCHMARK(compress)->Arg(4)->Arg(5)->ArgName("order");
+    ->ArgsProduct({{3, 4, 5}, {1}, {3}, {0, 1}})
+    ->ArgNames({"order", "sparse", "mechs", "vector"});
+BENCHMARK(neighborUpdate<1>)
+    ->ArgsProduct({{3, 4, 5}, {0, 1}, {0, 1}})
+    ->ArgNames({"order", "sparse", "vector"});
+BENCHMARK(neighborUpdate<16>)
+    ->ArgsProduct({{4}, {1}, {0, 1}})
+    ->ArgNames({"order", "sparse", "vector"});
+BENCHMARK(compress)->ArgsProduct({{4, 5}, {0, 1}})->ArgNames({"order", "vector"});
+
+// Raw small-GEMM backend A/B rows (scalar vs vector per shape; the W = 4
+// dense + CSR rows are the acceptance gate for the vector backend).
+BENCHMARK_TEMPLATE(smallGemmStarDense, 1)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmStarDense, 4)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmStarDense, 16)
+    ->ArgsProduct({{4}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, 1)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, 4)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, 16)
+    ->ArgsProduct({{4}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmRightDense, 1)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmRightDense, 4)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, 1)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, 4)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "vector"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, 16)
+    ->ArgsProduct({{4}, {0, 1}})
+    ->ArgNames({"order", "vector"});
 
 // BENCHMARK_MAIN with a default JSON artifact: unless the caller passes its
 // own --benchmark_out, results also land in BENCH_kernel.json (the

@@ -9,10 +9,18 @@
 # environment:
 #   NGLTS_BENCH_SCALE   mesh/time scale multiplier (default 1.0); >= 1 for
 #                       meaningful numbers, < 1 for smoke runs.
+#   KERNEL              small-GEMM backend the solver benches pin
+#                       (auto | scalar | vector; default auto). Exported as
+#                       NGLTS_KERNEL to the bench binaries, which record
+#                       the resolved backend in their BENCH_*.json
+#                       ("kernel_backend" key) so rows are attributable.
+#                       kernel_micro always measures *both* backends (its
+#                       per-row `vector` argument) regardless of KERNEL.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench-out}
+export NGLTS_KERNEL=${KERNEL:-${NGLTS_KERNEL:-auto}}
 
 if [[ ! -x "$BUILD_DIR/tab1_performance" ]]; then
   echo "run_benches.sh: $BUILD_DIR/tab1_performance not found — build with -DNGLTS_BUILD_BENCHES=ON" >&2
@@ -22,6 +30,8 @@ fi
 BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
 mkdir -p "$OUT_DIR"
 cd "$OUT_DIR"
+
+echo "== kernel backend for solver benches: $NGLTS_KERNEL =="
 
 echo "== tab1_performance (Tab. I throughput + reorder A/B + thread sweep) =="
 "$BUILD_DIR/tab1_performance"

@@ -43,6 +43,7 @@ RowResult runCase(solver::TimeScheme scheme, double lambda, bool sparse, double 
   cfg.autoLambda = lambda < 0; // negative lambda encodes "use the Sec. V-A sweep"
   if (cfg.autoLambda) cfg.lambda = 1.0;
   cfg.sparseKernels = sparse;
+  cfg.kernelBackend = bench::benchKernelBackend();
   cfg.clusterReorder = reorder;
   cfg.numThreads = threads > 0 ? threads : solver::hardwareThreads();
   solver::Simulation<float, W> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
@@ -77,6 +78,7 @@ double timeToSolution(solver::TimeScheme scheme, double lambda, bool sparse, dou
   cfg.autoLambda = lambda < 0;
   if (cfg.autoLambda) cfg.lambda = 1.0;
   cfg.sparseKernels = sparse;
+  cfg.kernelBackend = bench::benchKernelBackend();
   cfg.numThreads = solver::hardwareThreads();
   solver::Simulation<float, W> sim(std::move(sc.mesh), std::move(sc.materials), cfg);
   sim.run(sim.cycleDt());
@@ -107,6 +109,7 @@ int main() {
                "16-fused speedup/sim"});
   bench::JsonReport json;
   json.set("bench", "tab1_performance");
+  json.set("kernel_backend", bench::benchKernelLabel());
   json.set("scale", scale);
   json.set("t_end", tEnd);
   double gtsCost1 = 0.0;
@@ -191,6 +194,7 @@ int main() {
       dcfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
       dcfg.sim.numClusters = 3;
       dcfg.sim.lambda = 1.0;
+      dcfg.sim.kernelBackend = bench::benchKernelBackend();
       dcfg.sim.numThreads = std::max<int_t>(1, solver::hardwareThreads() / 2);
       dcfg.compressFaces = mode == 1;
       dcfg.threaded = true;

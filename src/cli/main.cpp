@@ -30,6 +30,9 @@ void printUsage() {
       "      --threads N       OpenMP threads per rank for the solver loops (>= 1;\n"
       "                        default: hardware threads / ranks; results are\n"
       "                        bitwise-identical for every value)\n"
+      "      --kernel B        small-GEMM backend: auto | scalar | vector (default\n"
+      "                        auto = CPU detection; explicit vector errors instead\n"
+      "                        of falling back; bitwise-identical results)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
@@ -107,6 +110,12 @@ int main(int argc, char** argv) {
       opts.ranks = parseInt(arg, requireValue(argc, argv, i));
     } else if (arg == "--threads") {
       opts.threads = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--kernel") {
+      try {
+        opts.kernelBackend = nglts::linalg::parseKernelBackend(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
     } else if (arg == "--lambda") {
       opts.lambda = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--scale") {

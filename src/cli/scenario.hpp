@@ -48,6 +48,12 @@ struct ScenarioOptions {
   /// threads divided evenly among the ranks. Results are bitwise-identical
   /// for every value — a pure performance knob.
   std::optional<int_t> threads;
+  /// Small-GEMM kernel backend (`SimConfig::kernelBackend`, the `--kernel`
+  /// flag; docs/KERNELS.md): `auto` (CPU detection), `scalar` (reference
+  /// loops) or `vector` (explicit SIMD; hard error when unavailable rather
+  /// than a silent fallback). Bitwise-identical results across backends —
+  /// a pure performance knob.
+  std::optional<linalg::KernelBackend> kernelBackend;
   /// Fixed cluster-growth control parameter lambda (>= 0); setting it
   /// disables the scenario's automatic lambda sweep (Sec. V-A).
   std::optional<double> lambda;

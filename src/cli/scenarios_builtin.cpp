@@ -66,6 +66,10 @@ void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
   if (opts.order) cfg.order = *opts.order;
   if (opts.scheme) cfg.scheme = *opts.scheme;
   if (opts.numClusters) cfg.numClusters = *opts.numClusters;
+  if (opts.kernelBackend) cfg.kernelBackend = *opts.kernelBackend;
+  // Resolve now so an explicit --kernel vector on an unsupported build/host
+  // fails at config time (never a silent fallback mid-run).
+  linalg::resolveKernelBackend(cfg.kernelBackend);
   if (opts.lambda) {
     cfg.lambda = *opts.lambda;
     cfg.autoLambda = false;
@@ -92,6 +96,15 @@ void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
     throw std::invalid_argument("threads must be >= 1, got " +
                                 std::to_string(cfg.numThreads) +
                                 " (--threads 0 is not a serial run; use --threads 1)");
+}
+
+
+/// Record the small-GEMM backend the run's kernels dispatch to in the
+/// scenario summary ("kernel backend: vector(avx2)"); CI greps this line to
+/// assert an explicit --kernel vector never silently degrades.
+void appendKernelLine(std::string& out, const solver::SimConfig& cfg) {
+  appendf(out, "kernel backend: %s\n",
+          linalg::resolvedKernelBackendLabel(cfg.kernelBackend).c_str());
 }
 
 /// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
@@ -264,6 +277,7 @@ class QuickstartScenario final : public Scenario {
     }
 
     ScenarioReport report;
+    appendKernelLine(report.summary, cfg);
     const idx_t samples = 101;
     if (nRanks > 1) {
       // Distributed path: same engine under a halo decomposition — the
@@ -385,6 +399,7 @@ class Loh3Scenario final : public Scenario {
     auto gts = makeSim<W>(gtsCfg, opts.meshScale);
     addSetup(gts);
     ScenarioReport report;
+    appendKernelLine(report.summary, cfg);
     progressf(opts, "running GTS reference...\n");
     const auto sg = gts.run(tEnd);
 
@@ -535,6 +550,7 @@ class LaHabraScenario final : public Scenario {
     report.config.autoLambda = false;
     report.summary += pipe.summary();
     report.summary += '\n';
+    appendKernelLine(report.summary, cfg);
 
     parallel::DistConfig dcfg;
     dcfg.sim = report.config;
@@ -636,6 +652,7 @@ class FusedScenario final : public Scenario {
 
     progressf(opts, "running fused x%d ensemble...\n", W);
     ScenarioReport report;
+    appendKernelLine(report.summary, cfg);
     report.config = sim.config();
     report.stats = sim.run(tEnd);
     appendf(report.summary, "fused x%d run: %s\n", W, perfLine(report.stats).c_str());

@@ -11,6 +11,14 @@
 //                        9 x F face-local representation shipped over the
 //                        "network" (Sec. V-C).
 // DOF layout: q[var][basisFn][W], W innermost.
+//
+// Every small-GEMM these kernels issue goes through a per-instance
+// `linalg::SmallGemmOps` dispatch table resolved once at construction from
+// the requested `linalg::KernelBackend` (scalar reference vs explicit-SIMD
+// vector kernels; docs/KERNELS.md). The layers above — StepExecutor,
+// Simulation, DistributedSimulation — pick the backend up through this
+// class without any changes of their own; results are bitwise-identical
+// across backends, and the returned flop counts are backend-invariant.
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -19,7 +27,7 @@
 #include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "kernels/element_data.hpp"
-#include "linalg/small_gemm.hpp"
+#include "linalg/small_gemm_dispatch.hpp"
 
 namespace nglts::kernels {
 
@@ -48,9 +56,18 @@ class AderKernels {
 
   /// `sparse` selects the CSR kernels for the global matrices (the paper's
   /// fused-mode "all sparsity" path); dense mode still trims static zero
-  /// blocks of the star matrices and the derivative degrees.
+  /// blocks of the star matrices and the derivative degrees. `backend`
+  /// requests the small-GEMM implementation (`SimConfig::kernelBackend` /
+  /// `--kernel`); it is resolved here via `linalg::resolveKernelBackend`,
+  /// which hard-errors on an explicit `kVector` request the build or host
+  /// cannot honor (never a silent fallback).
   AderKernels(int_t order, int_t mechanisms, bool sparse,
-              std::vector<double> relaxationFrequencies = {});
+              std::vector<double> relaxationFrequencies = {},
+              linalg::KernelBackend backend = linalg::KernelBackend::kAuto);
+
+  /// The *resolved* backend every small-GEMM of this instance dispatches to
+  /// (kScalar or kVector, never kAuto).
+  linalg::KernelBackend backend() const { return backend_; }
 
   int_t order() const { return order_; }
   int_t numBasis() const { return nb_; }
@@ -121,6 +138,8 @@ class AderKernels {
  private:
   int_t order_, mechs_, nq_, nb_, nf_;
   bool sparse_;
+  linalg::KernelBackend backend_;               ///< resolved (kScalar | kVector)
+  const linalg::SmallGemmOps<Real, W>* ops_;    ///< dispatch table for backend_
   std::shared_ptr<const basis::GlobalMatrices> gm_;
   std::vector<Real> omega_;
 
@@ -136,12 +155,14 @@ class AderKernels {
 
   std::size_t varStride() const { return static_cast<std::size_t>(nb_) * W; }
 
+  /// Apply a global operator from the right, choosing the *image* (dense
+  /// block-trimmed vs fully sparse CSR, Sec. IV-A) per `sparse_` and the
+  /// *implementation* per the dispatched backend table.
   std::uint64_t applyRight(const linalg::SmallOp<Real>& op, int_t nVars, int_t kEff, int_t nEff,
                            const Real* d, Real* o, int_t ldd, int_t ldo) const {
     if (sparse_)
-      return linalg::rightMulCsr<Real, W>(nVars, kEff, op.csr, d, o, ldd, ldo);
-    return linalg::rightMulDense<Real, W>(nVars, kEff, nEff, op.cols, d, op.dense.data(), o, ldd,
-                                          ldo);
+      return ops_->rightCsr(nVars, kEff, op.csr, d, o, ldd, ldo);
+    return ops_->rightDense(nVars, kEff, nEff, op.cols, d, op.dense.data(), o, ldd, ldo);
   }
 
   std::uint64_t surfaceFromFaceLocal(const ElementData<Real>& ed, int_t face, const Real* proj,
@@ -152,13 +173,16 @@ class AderKernels {
 
 template <typename Real, int W>
 AderKernels<Real, W>::AderKernels(int_t order, int_t mechanisms, bool sparse,
-                                  std::vector<double> relaxationFrequencies)
+                                  std::vector<double> relaxationFrequencies,
+                                  linalg::KernelBackend backend)
     : order_(order),
       mechs_(mechanisms),
       nq_(numVars(mechanisms)),
       nb_(numBasis3d(order)),
       nf_(numBasis2d(order)),
       sparse_(sparse),
+      backend_(linalg::resolveKernelBackend(backend)),
+      ops_(&linalg::smallGemmOps<Real, W>(backend_)),
       gm_(basis::buildGlobalMatrices(order)) {
   omega_.reserve(relaxationFrequencies.size());
   for (double w : relaxationFrequencies) omega_.push_back(static_cast<Real>(w));
@@ -223,17 +247,17 @@ std::uint64_t AderKernels<Real, W>::timePredict(const ElementData<Real>& ed, con
     const int_t widIn = anel ? nb_ : degWidth_[d];
     // Accumulate this derivative into the time integral and the buffers.
     for (int_t v = 0; v < nq_; ++v) {
-      linalg::axpyBlock(coefT, cur + v * vs, timeInt + v * vs, static_cast<std::size_t>(widIn) * W);
+      ops_->axpy(coefT, cur + v * vs, timeInt + v * vs, static_cast<std::size_t>(widIn) * W);
       flops += 2ull * widIn * W;
     }
     if (b1)
       for (int_t v = 0; v < kElasticVars; ++v) {
-        linalg::axpyBlock(coefT, cur + v * vs, b1 + v * vs, static_cast<std::size_t>(widIn) * W);
+        ops_->axpy(coefT, cur + v * vs, b1 + v * vs, static_cast<std::size_t>(widIn) * W);
         flops += 2ull * widIn * W;
       }
     if (b2)
       for (int_t v = 0; v < kElasticVars; ++v) {
-        linalg::axpyBlock(coefH, cur + v * vs, b2 + v * vs, static_cast<std::size_t>(widIn) * W);
+        ops_->axpy(coefH, cur + v * vs, b2 + v * vs, static_cast<std::size_t>(widIn) * W);
         flops += 2ull * widIn * W;
       }
     if (derivStack) {
@@ -252,17 +276,17 @@ std::uint64_t AderKernels<Real, W>::timePredict(const ElementData<Real>& ed, con
     for (int_t c = 0; c < 3; ++c) {
       linalg::zeroBlock(s.sc.data(), el9);
       flops += applyRight(gXiNeg_[c], kElasticVars, widIn, widOut, cur, s.sc.data(), nb_, nb_);
-      flops += linalg::starMulDense<Real, W>(kElasticVars, kElasticVars, widOut, nb_,
+      flops += ops_->starDense(kElasticVars, kElasticVars, widOut, nb_,
                                              ed.starE[c].data(), s.sc.data(), next);
       if (anel)
-        flops += linalg::starMulDense<Real, W>(6, kElasticVars, widOut, nb_,
+        flops += ops_->starDense(6, kElasticVars, widOut, nb_,
                                                ed.starA[c].data(), s.sc.data(), s.anAcc.data());
     }
     if (anel) {
       // Elastic rows: reactive source sum_l E_l theta^l.
       for (int_t l = 0; l < mechs_; ++l) {
         const Real* thetaCur = cur + (kElasticVars + 6 * l) * vs;
-        flops += linalg::starMulDense<Real, W>(kElasticVars, 6, nb_, nb_,
+        flops += ops_->starDense(kElasticVars, 6, nb_, nb_,
                                                ed.couple.data() + static_cast<std::size_t>(l) * 54,
                                                thetaCur, next);
       }
@@ -306,7 +330,7 @@ std::uint64_t AderKernels<Real, W>::integrateDerivStack(const Real* derivStack, 
   for (int_t d = 0; d < order_; ++d) {
     factorial *= Real(d + 1);
     const Real coef = (hiPow - loPow) / factorial;
-    linalg::axpyBlock(coef, derivStack + static_cast<std::size_t>(d) * el9, out, el9);
+    ops_->axpy(coef, derivStack + static_cast<std::size_t>(d) * el9, out, el9);
     flops += 2ull * el9;
     hiPow *= (a + delta);
     loPow *= a;
@@ -329,10 +353,10 @@ std::uint64_t AderKernels<Real, W>::volumeAndLocalSurface(const ElementData<Real
     linalg::zeroBlock(s.sc.data(), elasticDofsPerElement());
     flops += applyRight(kXi_[c], kElasticVars, nb_, nb_, timeInt, s.sc.data(), nb_, nb_);
     flops +=
-        linalg::starMulDense<Real, W>(kElasticVars, kElasticVars, nb_, nb_, ed.starE[c].data(),
+        ops_->starDense(kElasticVars, kElasticVars, nb_, nb_, ed.starE[c].data(),
                                       s.sc.data(), q);
     if (anel)
-      flops += linalg::starMulDense<Real, W>(6, kElasticVars, nb_, nb_, ed.starA[c].data(),
+      flops += ops_->starDense(6, kElasticVars, nb_, nb_, ed.starA[c].data(),
                                              s.sc.data(), s.anAcc.data());
   }
 
@@ -348,7 +372,7 @@ std::uint64_t AderKernels<Real, W>::volumeAndLocalSurface(const ElementData<Real
     // Reactive source on the elastic rows: sum_l E_l T_a,l.
     for (int_t l = 0; l < mechs_; ++l) {
       const Real* thetaT = timeInt + (kElasticVars + 6 * l) * vs;
-      flops += linalg::starMulDense<Real, W>(kElasticVars, 6, nb_, nb_,
+      flops += ops_->starDense(kElasticVars, 6, nb_, nb_,
                                              ed.couple.data() + static_cast<std::size_t>(l) * 54,
                                              thetaT, q);
     }
@@ -377,13 +401,13 @@ std::uint64_t AderKernels<Real, W>::surfaceFromFaceLocal(const ElementData<Real>
   const auto& fsa = neighborSide ? ed.fluxSolveANeigh[face] : ed.fluxSolveA[face];
 
   linalg::zeroBlock(s.faceSolved.data(), faceDataSize());
-  flops += linalg::starMulDense<Real, W>(kElasticVars, kElasticVars, nf_, nf_, fse.data(),
+  flops += ops_->starDense(kElasticVars, kElasticVars, nf_, nf_, fse.data(),
                                          proj, s.faceSolved.data());
   flops += applyRight(fluxLift_[face], kElasticVars, nf_, nb_, s.faceSolved.data(), q, nf_, nb_);
 
   if (anel) {
     linalg::zeroBlock(s.faceAn.data(), static_cast<std::size_t>(6) * nf_ * W);
-    flops += linalg::starMulDense<Real, W>(6, kElasticVars, nf_, nf_, fsa.data(), proj,
+    flops += ops_->starDense(6, kElasticVars, nf_, nf_, fsa.data(), proj,
                                            s.faceAn.data());
     linalg::zeroBlock(s.anLift.data(), static_cast<std::size_t>(6) * nb_ * W);
     flops += applyRight(fluxLift_[face], 6, nf_, nb_, s.faceAn.data(), s.anLift.data(), nf_, nb_);
@@ -391,7 +415,7 @@ std::uint64_t AderKernels<Real, W>::surfaceFromFaceLocal(const ElementData<Real>
       const Real wl = omega_[l];
       Real* dst = q + (kElasticVars + 6 * l) * vs;
       const std::size_t n = static_cast<std::size_t>(6) * nb_ * W;
-      linalg::axpyBlock(wl, s.anLift.data(), dst, n);
+      ops_->axpy(wl, s.anLift.data(), dst, n);
       flops += 2ull * n;
     }
   }
@@ -433,7 +457,7 @@ void AderKernels<Real, W>::evalTaylorElastic(const Real* derivStack, Real tau, R
   linalg::zeroBlock(out, el9);
   Real coef = 1.0;
   for (int_t d = 0; d < order_; ++d) {
-    linalg::axpyBlock(coef, derivStack + static_cast<std::size_t>(d) * el9, out, el9);
+    ops_->axpy(coef, derivStack + static_cast<std::size_t>(d) * el9, out, el9);
     coef *= tau / Real(d + 1);
   }
 }

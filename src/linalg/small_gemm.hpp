@@ -1,6 +1,12 @@
 #pragma once
 // Small-matrix kernels for the ADER-DG hot path — our stand-in for
-// LIBXSMM's Tensor Processing Primitives (paper Sec. IV-B).
+// LIBXSMM's Tensor Processing Primitives (paper Sec. IV-B). This header is
+// the *scalar reference backend*: plain triple loops with `omp simd` hints
+// that define the numerical contract (summation order, zero-skip tests,
+// flop accounting) every other backend must reproduce bitwise. The
+// explicit-SIMD backend lives in small_gemm_vector.hpp; runtime selection
+// goes through small_gemm_dispatch.hpp / kernel_backend.hpp. Kernel
+// taxonomy and the backend rules are documented in docs/KERNELS.md.
 //
 // DOF tensors are stored as D[var][basis][W] with the fused-simulation width
 // W innermost. For W == 1 the kernels vectorize over the trailing matrix
@@ -10,8 +16,10 @@
 // Two operator application shapes cover every DG kernel:
 //   star :  O[m][b][w] += A[m][k]   * D[k][b][w]   (Jacobians, flux solvers)
 //   right:  O[i][n][w] += D[i][k][w] * B[k][n]     (stiffness, flux matrices)
-// Both exist in dense and CSR form; all kernels accumulate (+=) and return
-// the number of useful floating point operations performed.
+// Both exist in dense and CSR form; all kernels accumulate (+=) into their
+// output and return the number of useful (non-zero) floating point
+// operations performed — the analytic count of Tab. I's accounting, never
+// a hardware counter (see common/flops.hpp).
 #include <cstdint>
 #include <cstring>
 
@@ -20,24 +28,28 @@
 
 namespace nglts::linalg {
 
+/// p[0..n) = 0. Backend-independent (pure memset; no FLOPs counted).
 template <typename Real>
 inline void zeroBlock(Real* p, std::size_t n) {
   std::memset(p, 0, n * sizeof(Real));
 }
 
+/// dst[0..n) = src[0..n). Backend-independent (pure memcpy; no FLOPs).
 template <typename Real>
 inline void copyBlock(Real* dst, const Real* src, std::size_t n) {
   std::memcpy(dst, src, n * sizeof(Real));
 }
 
-/// dst[i] += s * src[i]
+/// dst[i] += s * src[i] for i in [0, n). Accumulates; 2n FLOPs (counted by
+/// the caller — the ADER time integral, Eq. 4-7, is a chain of these).
 template <typename Real>
 inline void axpyBlock(Real s, const Real* src, Real* dst, std::size_t n) {
 #pragma omp simd
   for (std::size_t i = 0; i < n; ++i) dst[i] += s * src[i];
 }
 
-/// dst[i] = s * src[i]
+/// dst[i] = s * src[i] for i in [0, n). Overwrites (no accumulate); n FLOPs
+/// (counted by the caller).
 template <typename Real>
 inline void scaleCopyBlock(Real s, const Real* src, Real* dst, std::size_t n) {
 #pragma omp simd
@@ -48,8 +60,15 @@ inline void scaleCopyBlock(Real s, const Real* src, Real* dst, std::size_t n) {
 // star: O[m][b][w] += A[m][k] * D[k][b][w]
 // ---------------------------------------------------------------------------
 
-/// `ld` is the leading (basis) dimension of the d/o tensors; `nCols <= ld`
-/// restricts the columns actually touched (block-sparsity trimming).
+/// O[m][nCols][W] += A[m][k] * D[k][nCols][W] with a dense, row-major
+/// A (m x k) — the star-matrix shape applying element-local operators
+/// (Jacobians A*/B*/C* of Eq. 8-9, Godunov flux solvers of Eq. 10-13) from
+/// the left. `ld` is the leading (basis) dimension of the d/o tensors;
+/// `nCols <= ld` restricts the columns actually touched (block-sparsity
+/// trimming of the Cauchy-Kowalevski recursion). Accumulates (+=); entries
+/// with A[r][c] == 0 are skipped and not counted. Returns
+/// 2 * m * k * nCols * W flops (the dense analytic count; the zero-skip is
+/// a static-structure optimization, not a flop-count change).
 template <typename Real, int W>
 std::uint64_t starMulDense(int_t m, int_t k, int_t nCols, int_t ld, const Real* a, const Real* d,
                            Real* o) {
@@ -66,6 +85,10 @@ std::uint64_t starMulDense(int_t m, int_t k, int_t nCols, int_t ld, const Real* 
   return 2ull * m * k * nCols * W;
 }
 
+/// CSR variant of `starMulDense`: O[rows][nCols][W] += A * D for a sparse
+/// A — the fused-mode "exploit all sparsity" path of Sec. IV-A. Same
+/// accumulate semantics and operand layout; returns 2 * nnz * nCols * W
+/// flops (only the stored nonzeros are real operations).
 template <typename Real, int W>
 std::uint64_t starMulCsr(const Csr<Real>& a, int_t nCols, int_t ld, const Real* d, Real* o) {
   for (int_t r = 0; r < a.rows; ++r) {
@@ -84,9 +107,15 @@ std::uint64_t starMulCsr(const Csr<Real>& a, int_t nCols, int_t ld, const Real* 
 // right: O[i][n][w] += D[i][k][w] * B[k][n]
 // ---------------------------------------------------------------------------
 
-/// Dense variant. kEff <= B.rows restricts the summation (block-sparsity of
-/// the Cauchy-Kowalevski recursion: higher derivatives only populate leading
-/// modal blocks). nEff <= B.cols restricts the produced columns.
+/// O[nVars][nEff][W] += D[nVars][kEff][W] * B[kEff][nEff] with a dense,
+/// row-major B (ldb columns per row) — the right-multiply shape applying
+/// the global modal operators (stiffness K_c of Eq. 8-9, flux projections
+/// of Eq. 10-13) from the right. kEff <= B.rows restricts the summation
+/// (block-sparsity of the Cauchy-Kowalevski recursion: higher derivatives
+/// only populate leading modal blocks); nEff <= B.cols restricts the
+/// produced columns. `ldd`/`ldo` are the leading (basis) dimensions of the
+/// D/O tensors. Accumulates (+=); zero operands are skipped. Returns
+/// 2 * nVars * kEff * nEff * W flops (the dense analytic count).
 template <typename Real, int W>
 std::uint64_t rightMulDense(int_t nVars, int_t kEff, int_t nEff, int_t ldb, const Real* d,
                             const Real* b, Real* o, int_t ldd, int_t ldo) {
@@ -118,8 +147,10 @@ std::uint64_t rightMulDense(int_t nVars, int_t kEff, int_t nEff, int_t ldb, cons
   return 2ull * nVars * kEff * nEff * W;
 }
 
-/// CSR variant (the fused sparse kernels of Sec. IV-A/B). B is stored CSR by
-/// rows k; kEff restricts to the leading kEff rows.
+/// CSR variant of `rightMulDense` (the fused sparse kernels of
+/// Sec. IV-A/B). B is stored CSR by rows k; kEff restricts to the leading
+/// kEff rows. Same accumulate semantics; returns 2 * nVars * nnzUsed * W
+/// flops where nnzUsed counts the nonzeros of the first kEff rows.
 template <typename Real, int W>
 std::uint64_t rightMulCsr(int_t nVars, int_t kEff, const Csr<Real>& b, const Real* d, Real* o,
                           int_t ldd, int_t ldo) {
@@ -149,9 +180,12 @@ std::uint64_t rightMulCsr(int_t nVars, int_t kEff, const Csr<Real>& b, const Rea
 }
 
 // ---------------------------------------------------------------------------
-// Runtime operator wrapper: keeps a dense and a CSR image of a static DG
-// matrix and dispatches on the configured mode (single runs use the dense
-// block-trimmed path, fused runs the fully sparse path).
+// Static-operator wrapper: keeps a dense and a CSR image of one global DG
+// matrix. The *image* (dense block-trimmed vs fully sparse) is chosen by
+// the caller per `SimConfig::sparseKernels` (single runs dense, fused runs
+// sparse — Sec. IV-A); the *implementation* applied to it (scalar or
+// vector backend) is chosen per `SimConfig::kernelBackend` through
+// small_gemm_dispatch.hpp. The two choices are orthogonal.
 // ---------------------------------------------------------------------------
 
 template <typename Real>

@@ -112,7 +112,8 @@ DistributedSimulation<Real, W>::DistributedSimulation(mesh::TetMesh mesh,
 
   const std::vector<double> omega = solver::resolveOmega(materials_, cfg_.sim.mechanisms);
   kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(
-      cfg_.sim.order, cfg_.sim.mechanisms, cfg_.sim.sparseKernels, omega);
+      cfg_.sim.order, cfg_.sim.mechanisms, cfg_.sim.sparseKernels, omega,
+      cfg_.sim.kernelBackend);
 
   if (cfg_.threaded)
     comm_ = std::make_unique<ThreadComm>(numRanks_);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/types.hpp"
+#include "linalg/kernel_backend.hpp"
 
 namespace nglts::solver {
 
@@ -34,6 +35,14 @@ struct SimConfig {
   /// instead of dense block-trimmed ones. Profitable for fused simulations
   /// (W > 1), where the ensemble dimension vectorizes perfectly (Sec. IV).
   bool sparseKernels = false;
+  /// Small-GEMM kernel backend (docs/KERNELS.md): `kAuto` picks the
+  /// explicit-SIMD vector kernels when build and CPU support them,
+  /// `kScalar`/`kVector` force one implementation (an explicit `kVector` on
+  /// an unsupported build/host throws instead of falling back). Orthogonal
+  /// to `sparseKernels` (which picks the operator *image*, not the
+  /// implementation). Results are bitwise-identical across backends — a
+  /// pure performance knob, exposed as `--kernel` on every scenario.
+  linalg::KernelBackend kernelBackend = linalg::KernelBackend::kAuto;
   /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
   /// (Sec. V), or the buffer+derivative baseline of [15].
   TimeScheme scheme = TimeScheme::kGts;

@@ -23,8 +23,8 @@ Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Materia
   lts::checkSchedule(schedule, clustering_.numClusters);
 
   const std::vector<double> omega = resolveOmega(materials_, cfg_.mechanisms);
-  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(cfg_.order, cfg_.mechanisms,
-                                                             cfg_.sparseKernels, omega);
+  kernels_ = std::make_unique<kernels::AderKernels<Real, W>>(
+      cfg_.order, cfg_.mechanisms, cfg_.sparseKernels, omega, cfg_.kernelBackend);
   state_ = std::make_unique<SolverState<Real, W>>(mesh_, materials_, geo_, clustering_,
                                                   *kernels_, cfg_);
   const double recDt = cfg_.receiverSampleDt > 0.0 ? cfg_.receiverSampleDt : clustering_.dtMin;
