@@ -1,0 +1,122 @@
+// Setup-amortization bench for the ensemble batch engine (BENCH_batch.json):
+// the same ensemble of perturbed quickstart requests executed three ways —
+//
+//   independent    one engine per request (no memoization, no fusion): every
+//                  request pays the full preprocessing pipeline,
+//   batch-w1       one engine, memoized preprocessing, lane packing off,
+//   batch-w4       one engine, memoized preprocessing, fused width up to 4.
+//
+// Rows record setup/solve/total seconds, per-request amortized cost and how
+// often the preprocessing pipeline actually ran. The batch rows must show
+// pipeline_builds == number of *distinct* material configurations, not the
+// request count — that is the engine's amortization claim (results stay
+// bitwise-identical across all three modes; tests/test_batch_engine.cpp
+// asserts it, this bench measures it).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batch/batch_engine.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+
+using namespace nglts;
+
+namespace {
+
+std::vector<batch::ScenarioRequest> makeRequests(idx_t n) {
+  std::vector<batch::ScenarioRequest> reqs(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    auto& r = reqs[static_cast<std::size_t>(i)];
+    r.id = "req" + std::to_string(i);
+    r.sourceScale = 1.0 + 0.25 * static_cast<double>(i);
+    r.materialScale = (i % 4 == 3) ? 1.1 : 1.0; // two distinct material groups
+    r.receiverOffset = {5.0 * static_cast<double>(i), 0.0, 0.0};
+  }
+  return reqs;
+}
+
+batch::BatchConfig makeConfig(double scale, int_t maxWidth) {
+  batch::BatchConfig cfg = batch::quickstartBatchConfig();
+  cfg.endTime = 0.4;
+  cfg.maxFusedWidth = maxWidth;
+  // scale > 1 = finer mesh (edge bounds shrink), matching --scale on the CLI.
+  cfg.pipeline.minEdge /= scale;
+  cfg.pipeline.maxEdge /= scale;
+  cfg.sim.kernelBackend = bench::benchKernelBackend();
+  return cfg;
+}
+
+struct ModeResult {
+  double setup = 0.0, solve = 0.0;
+  idx_t builds = 0;
+  idx_t runs = 0;
+};
+
+ModeResult runBatch(const std::vector<batch::ScenarioRequest>& reqs, double scale,
+                    int_t maxWidth) {
+  const seismo::LayeredModel model = batch::quickstartBatchModel();
+  batch::BatchEngine engine(model, makeConfig(scale, maxWidth),
+                            batch::quickstartBatchModelKey());
+  engine.add(reqs);
+  const batch::BatchStats st = engine.run(nullptr);
+  return {st.setupSeconds, st.solveSeconds, st.pipelineBuilds, st.runs};
+}
+
+ModeResult runIndependent(const std::vector<batch::ScenarioRequest>& reqs, double scale) {
+  // One fresh engine per request: the memoization cache never carries over,
+  // so every request pays the full pipeline — the pre-batch workflow.
+  ModeResult total;
+  const seismo::LayeredModel model = batch::quickstartBatchModel();
+  for (const batch::ScenarioRequest& r : reqs) {
+    batch::BatchEngine engine(model, makeConfig(scale, 1), batch::quickstartBatchModelKey());
+    engine.add(r);
+    const batch::BatchStats st = engine.run(nullptr);
+    total.setup += st.setupSeconds;
+    total.solve += st.solveSeconds;
+    total.builds += st.pipelineBuilds;
+    total.runs += st.runs;
+  }
+  return total;
+}
+
+void addRow(bench::JsonReport& report, const std::string& mode, idx_t requests,
+            const ModeResult& r) {
+  const double perReq = (r.setup + r.solve) / static_cast<double>(requests);
+  report.beginRow();
+  report.rowSet("mode", mode);
+  report.rowSet("requests", static_cast<double>(requests));
+  report.rowSet("runs", static_cast<double>(r.runs));
+  report.rowSet("pipeline_builds", static_cast<double>(r.builds));
+  report.rowSet("setup_s", r.setup);
+  report.rowSet("solve_s", r.solve);
+  report.rowSet("total_s", r.setup + r.solve);
+  report.rowSet("per_request_s", perReq);
+  std::printf("%-12s %3lld requests %2lld runs %2lld builds  setup %6.2f s  solve %6.2f s"
+              "  %.3f s/request\n",
+              mode.c_str(), static_cast<long long>(requests), static_cast<long long>(r.runs),
+              static_cast<long long>(r.builds), r.setup, r.solve, perReq);
+}
+
+} // namespace
+
+int main() {
+  const double scale = 0.5 * bench::benchScale(); // coarse box: setup-dominated
+  const idx_t requests = 8;
+  const std::vector<batch::ScenarioRequest> reqs = makeRequests(requests);
+
+  bench::JsonReport report;
+  report.set("bench", "batch_throughput");
+  report.set("kernel", bench::benchKernelLabel());
+  report.set("scale", scale);
+  report.set("requests", static_cast<double>(requests));
+
+  std::printf("batch setup-amortization, %lld requests, scale %.2f\n",
+              static_cast<long long>(requests), scale);
+  addRow(report, "independent", requests, runIndependent(reqs, scale));
+  addRow(report, "batch-w1", requests, runBatch(reqs, scale, 1));
+  addRow(report, "batch-w4", requests, runBatch(reqs, scale, 4));
+
+  report.write("BENCH_batch.json");
+  return 0;
+}

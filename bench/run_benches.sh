@@ -39,6 +39,9 @@ echo "== tab1_performance (Tab. I throughput + reorder A/B + thread sweep) =="
 echo "== fig10_scaling (rank scaling + hybrid ranks x threads sweep) =="
 "$BUILD_DIR/fig10_scaling"
 
+echo "== batch_throughput (ensemble setup amortization: independent vs memoized/fused) =="
+"$BUILD_DIR/batch_throughput"
+
 if [[ -x "$BUILD_DIR/kernel_micro" ]]; then
   echo "== kernel_micro (Sec. IV per-kernel throughput) =="
   # Writes BENCH_kernel.json by default (see the custom main in kernel_micro.cpp).

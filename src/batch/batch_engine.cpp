@@ -1,0 +1,332 @@
+#include "batch/batch_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "batch/checkpoint.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "seismo/source.hpp"
+#include "solver/simulation.hpp"
+
+namespace nglts::batch {
+
+namespace {
+
+/// Combine the base model key with a request's material perturbation — the
+/// `modelKey` handed to the pipeline cache, so perturbed materials occupy
+/// distinct cache slots.
+std::uint64_t combinedModelKey(std::uint64_t baseKey, double materialScale) {
+  pre::ConfigHasher h;
+  h.u64(baseKey);
+  h.f64(materialScale);
+  return h.digest();
+}
+
+} // namespace
+
+BatchEngine::BatchEngine(const seismo::VelocityModel& model, BatchConfig cfg,
+                         std::uint64_t modelKey)
+    : model_(model), cfg_(std::move(cfg)), modelKey_(modelKey) {
+  solver::validateSimConfig(cfg_.sim);
+  if (cfg_.maxFusedWidth != 1 && cfg_.maxFusedWidth != 2 && cfg_.maxFusedWidth != 4)
+    throw std::invalid_argument("BatchConfig: maxFusedWidth must be 1, 2 or 4");
+  if (!(cfg_.endTime > 0.0)) throw std::invalid_argument("BatchConfig: endTime must be > 0");
+  if (cfg_.checkpointEveryCycles < 0)
+    throw std::invalid_argument("BatchConfig: checkpointEveryCycles must be >= 0");
+  if ((cfg_.checkpointEveryCycles > 0 || cfg_.restore) && cfg_.checkpointPath.empty())
+    throw std::invalid_argument("BatchConfig: checkpointing/restore needs a checkpointPath");
+}
+
+void BatchEngine::add(ScenarioRequest req) {
+  if (ran_) throw std::logic_error("BatchEngine: cannot add requests after run()");
+  requests_.push_back(std::move(req));
+  planned_ = false;
+}
+
+void BatchEngine::add(const std::vector<ScenarioRequest>& reqs) {
+  for (const ScenarioRequest& r : reqs) add(r);
+}
+
+pre::PipelineConfig BatchEngine::groupPipelineConfig(const PlannedRun& pr) const {
+  // Mirror the discretization/clustering knobs from the solver config so the
+  // two halves of the base scenario cannot drift apart. GTS collapses to one
+  // cluster with the sweep off — matching Simulation::resolveClustering — so
+  // a GTS batch does not pay (or cache-key) a meaningless lambda sweep.
+  pre::PipelineConfig p = cfg_.pipeline;
+  p.order = cfg_.sim.order;
+  p.mechanisms = cfg_.sim.mechanisms;
+  p.cfl = cfg_.sim.cfl;
+  const bool gts = cfg_.sim.scheme == solver::TimeScheme::kGts;
+  p.numClusters = gts ? 1 : cfg_.sim.numClusters;
+  p.autoLambda = gts ? false : cfg_.sim.autoLambda;
+  p.lambda = cfg_.sim.lambda;
+  p.numPartitions = 1; // the batch engine is a shared-memory driver
+  p.receivers.clear();
+  for (idx_t i : pr.requests) {
+    const ScenarioRequest& req = requests_[i];
+    p.receivers.push_back({cfg_.receiverPosition[0] + req.receiverOffset[0],
+                           cfg_.receiverPosition[1] + req.receiverOffset[1],
+                           cfg_.receiverPosition[2] + req.receiverOffset[2]});
+  }
+  return p;
+}
+
+const std::vector<BatchEngine::PlannedRun>& BatchEngine::plan() {
+  if (planned_) return plan_;
+  plan_.clear();
+
+  // Group requests by pipeline key, stable in submission order. Receivers
+  // are absent from the grouping config — they are excluded from the key by
+  // design, so receiver-only perturbations land in the same group.
+  PlannedRun probe; // empty request list -> mirrored base config, no receivers
+  const pre::PipelineConfig base = groupPipelineConfig(probe);
+  std::vector<std::pair<std::uint64_t, std::vector<idx_t>>> groups;
+  for (idx_t i = 0; i < numRequests(); ++i) {
+    const std::uint64_t key =
+        pre::pipelineCacheKey(base, combinedModelKey(modelKey_, requests_[i].materialScale));
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == key; });
+    if (it == groups.end()) groups.push_back({key, {i}});
+    else it->second.push_back(i);
+  }
+
+  // Greedy packing inside each group: largest width from {4, 2, 1} that is
+  // <= min(maxFusedWidth, remaining). Every run is exactly `width` lanes.
+  for (const auto& [key, members] : groups) {
+    std::size_t at = 0;
+    while (at < members.size()) {
+      const auto remaining = static_cast<int_t>(members.size() - at);
+      int_t width = std::min(cfg_.maxFusedWidth, remaining);
+      while (width != 4 && width != 2 && width != 1) --width; // 3 -> 2
+      PlannedRun run;
+      run.pipelineKey = key;
+      run.width = width;
+      run.requests.assign(members.begin() + static_cast<std::ptrdiff_t>(at),
+                          members.begin() + static_cast<std::ptrdiff_t>(at + width));
+      plan_.push_back(std::move(run));
+      at += static_cast<std::size_t>(width);
+    }
+  }
+  planned_ = true;
+  return plan_;
+}
+
+std::uint64_t BatchEngine::fingerprint() const {
+  // Everything that shapes the batch schedule or its results — performance
+  // knobs (threads, kernel backend, layout, checkpoint cadence) excluded:
+  // they are bitwise-neutral, and a restore under a different thread count
+  // or cadence must still be accepted.
+  pre::ConfigHasher h;
+  h.i32(cfg_.sim.order);
+  h.i32(cfg_.sim.mechanisms);
+  h.f64(cfg_.sim.cfl);
+  h.boolean(cfg_.sim.sparseKernels);
+  h.i32(static_cast<int_t>(cfg_.sim.scheme));
+  h.i32(cfg_.sim.numClusters);
+  h.f64(cfg_.sim.lambda);
+  h.boolean(cfg_.sim.autoLambda);
+  h.f64(cfg_.sim.attenuationFreq);
+  h.f64(cfg_.sim.receiverSampleDt);
+  PlannedRun probe;
+  h.u64(pre::pipelineCacheKey(groupPipelineConfig(probe), modelKey_));
+  h.f64(cfg_.endTime);
+  for (double v : cfg_.sourcePosition) h.f64(v);
+  for (double v : cfg_.sourceMoment) h.f64(v);
+  h.f64(cfg_.sourceFrequency);
+  h.f64(cfg_.sourceDelay);
+  for (double v : cfg_.receiverPosition) h.f64(v);
+  h.i32(cfg_.maxFusedWidth);
+  h.u64(static_cast<std::uint64_t>(requests_.size()));
+  for (const ScenarioRequest& r : requests_) {
+    h.u64(r.id.size());
+    h.bytes(r.id.data(), r.id.size());
+    h.f64(r.sourceScale);
+    h.f64(r.materialScale);
+    for (double v : r.receiverOffset) h.f64(v);
+  }
+  return h.digest();
+}
+
+template <int W>
+bool BatchEngine::runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool loadState,
+                             const ResultCallback& onResult, BatchStats& stats,
+                             int_t& snapshotsWritten) {
+  const PlannedRun& pr = plan_[static_cast<std::size_t>(runIndex)];
+  const double materialScale = requests_[pr.requests[0]].materialScale;
+
+  Timer setup;
+  const pre::PipelineConfig pcfg = groupPipelineConfig(pr);
+  const ScaledVelocityModel scaled(model_, materialScale);
+  const std::shared_ptr<const pre::PipelineResult> pipe =
+      cache_.get(scaled, pcfg, combinedModelKey(modelKey_, materialScale));
+
+  // Pin the pipeline's clustering decision into the run config (the lahabra
+  // pattern): the facade re-derives the identical clusters from the
+  // reordered mesh instead of sweeping lambda again.
+  solver::SimConfig runCfg = cfg_.sim;
+  runCfg.lambda = pipe->clustering.lambda;
+  runCfg.autoLambda = false;
+
+  solver::Simulation<double, W> sim(pipe->mesh, pipe->materials, runCfg);
+
+  std::vector<double> laneScale(W);
+  for (int lane = 0; lane < W; ++lane)
+    laneScale[static_cast<std::size_t>(lane)] =
+        requests_[pr.requests[static_cast<std::size_t>(lane)]].sourceScale;
+  sim.addPointSource(
+      seismo::momentTensorSource(cfg_.sourcePosition, cfg_.sourceMoment,
+                                 std::make_shared<seismo::RickerWavelet>(cfg_.sourceFrequency,
+                                                                         cfg_.sourceDelay)),
+      laneScale);
+
+  std::vector<idx_t> recIdx(W);
+  for (int lane = 0; lane < W; ++lane) {
+    const idx_t idx = sim.addReceiver(pcfg.receivers[static_cast<std::size_t>(lane)]);
+    if (idx < 0)
+      throw std::runtime_error("batch request '" +
+                               requests_[pr.requests[static_cast<std::size_t>(lane)]].id +
+                               "': receiver lies outside the mesh");
+    recIdx[static_cast<std::size_t>(lane)] = idx;
+  }
+  stats.setupSeconds += setup.seconds();
+
+  const std::uint64_t totalCycles = sim.cyclesFor(cfg_.endTime);
+  std::uint64_t done = 0;
+  if (loadState) {
+    loadSnapshot(cfg_.checkpointPath, sim);
+    done = resumeCycles;
+    NGLTS_LOG_INFO << "batch: restored run " << runIndex << " at cycle " << done << "/"
+                   << totalCycles;
+  }
+
+  while (done < totalCycles) {
+    const std::uint64_t chunk =
+        cfg_.checkpointEveryCycles > 0
+            ? std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.checkpointEveryCycles),
+                                      totalCycles - done)
+            : totalCycles - done;
+    const solver::PerfStats st = sim.runCycles(chunk);
+    stats.solveSeconds += st.seconds;
+    stats.cycles += st.cycles;
+    stats.flops += st.flops;
+    done += chunk;
+    if (cfg_.checkpointEveryCycles > 0 && done < totalCycles) {
+      saveSnapshot(cfg_.checkpointPath, fingerprint(), static_cast<std::uint64_t>(runIndex), done,
+                   &sim);
+      ++snapshotsWritten;
+      if (cfg_.abortAfterCheckpoints > 0 && snapshotsWritten >= cfg_.abortAfterCheckpoints) {
+        stats.interrupted = true;
+        return false;
+      }
+    }
+  }
+
+  for (int lane = 0; lane < W; ++lane) {
+    const idx_t reqIdx = pr.requests[static_cast<std::size_t>(lane)];
+    RequestResult res;
+    res.id = requests_[reqIdx].id;
+    res.requestIndex = reqIdx;
+    res.trace = sim.receiver(recIdx[static_cast<std::size_t>(lane)])
+                    .traces[static_cast<std::size_t>(lane)];
+    res.lane = lane;
+    res.fusedWidth = W;
+    res.pipelineKey = pr.pipelineKey;
+    ++stats.completedRequests;
+    if (onResult) onResult(res);
+  }
+  ++stats.runs;
+
+  // A run-boundary marker lets a kill between runs resume at the next run
+  // without replaying this one (its results were already streamed).
+  if (cfg_.checkpointEveryCycles > 0) {
+    saveSnapshot<double, W>(cfg_.checkpointPath, fingerprint(),
+                            static_cast<std::uint64_t>(runIndex) + 1, 0, nullptr);
+    ++snapshotsWritten;
+    if (cfg_.abortAfterCheckpoints > 0 && snapshotsWritten >= cfg_.abortAfterCheckpoints) {
+      stats.interrupted = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+BatchStats BatchEngine::run(const ResultCallback& onResult) {
+  if (ran_) throw std::logic_error("BatchEngine: run() may be called once");
+  ran_ = true;
+  plan();
+
+  BatchStats stats;
+  stats.requests = numRequests();
+
+  idx_t startRun = 0;
+  std::uint64_t resumeCycles = 0;
+  bool loadState = false;
+  if (cfg_.restore) {
+    const SnapshotInfo info = peekSnapshot(cfg_.checkpointPath);
+    if (info.batchFingerprint != fingerprint())
+      throw std::runtime_error("snapshot '" + cfg_.checkpointPath +
+                               "' belongs to a different batch (fingerprint mismatch)");
+    startRun = static_cast<idx_t>(info.runIndex);
+    if (info.hasState) {
+      resumeCycles = info.cyclesDone;
+      loadState = true;
+    }
+    NGLTS_LOG_INFO << "batch: resuming at run " << startRun << " of " << plan_.size();
+  }
+
+  int_t snapshotsWritten = 0;
+  for (idx_t r = startRun; r < static_cast<idx_t>(plan_.size()); ++r) {
+    const bool resume = loadState && r == startRun;
+    const std::uint64_t cycles = resume ? resumeCycles : 0;
+    bool cont = false;
+    switch (plan_[static_cast<std::size_t>(r)].width) {
+      case 4: cont = runPlanned<4>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
+      case 2: cont = runPlanned<2>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
+      default: cont = runPlanned<1>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
+    }
+    if (!cont) break;
+  }
+
+  stats.pipelineBuilds = cache_.builds();
+  stats.pipelineHits = cache_.hits();
+  return stats;
+}
+
+seismo::LayeredModel quickstartBatchModel() {
+  // The quickstart scenario's materials as a model: vs 500 above z = -250,
+  // vs 2000 below, vp = 1.9 vs, rho 2600, Qp 100, Qs 50.
+  return seismo::LayeredModel({{-250.0, {2600.0, 950.0, 500.0, 100.0, 50.0}},
+                               {-1000.0, {2600.0, 3800.0, 2000.0, 100.0, 50.0}}});
+}
+
+std::uint64_t quickstartBatchModelKey() {
+  pre::ConfigHasher h;
+  h.bytes("quickstart-two-layer", 20);
+  h.f64(-250.0);
+  h.f64(500.0);
+  h.f64(2000.0);
+  return h.digest();
+}
+
+BatchConfig quickstartBatchConfig() {
+  BatchConfig cfg;
+  cfg.sim.order = 4;
+  cfg.sim.mechanisms = 3;
+  cfg.sim.scheme = solver::TimeScheme::kLtsNextGen;
+  cfg.sim.numClusters = 3;
+  cfg.sim.autoLambda = true;
+  cfg.sim.attenuationFreq = 2.0;
+  cfg.pipeline.lo = {0.0, 0.0, -1000.0};
+  cfg.pipeline.hi = {1000.0, 1000.0, 0.0};
+  cfg.pipeline.maxFrequency = 2.0; // also the constant-Q fit band's center
+  cfg.pipeline.elementsPerWavelength = 2.0;
+  cfg.pipeline.minEdge = 100.0;
+  cfg.pipeline.maxEdge = 350.0;
+  cfg.pipeline.jitter = 0.2;
+  cfg.endTime = 1.0;
+  return cfg;
+}
+
+} // namespace nglts::batch

@@ -1,0 +1,280 @@
+#include "batch/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace nglts::batch {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'G', 'L', 'T', 'S', 'N', 'A', 'P'};
+// Header bytes before the optional state block: magic + 4 u32 + 3 u64.
+constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 3 * 8;
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class Writer {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void u32(std::uint32_t v) {
+    unsigned char le[4];
+    for (int i = 0; i < 4; ++i) le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    bytes(le, 4);
+  }
+  void u64(std::uint64_t v) {
+    unsigned char le[8];
+    for (int i = 0; i < 8; ++i) le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    bytes(le, 8);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  const std::vector<unsigned char>& data() const { return buf_; }
+  void appendChecksum() { u64(fnv1a(buf_.data(), buf_.size())); }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::vector<unsigned char>& buf, const std::string& path)
+      : buf_(buf), path_(path) {}
+
+  void bytes(void* out, std::size_t n) {
+    if (pos_ + n > buf_.size())
+      throw std::runtime_error("snapshot '" + path_ + "' is truncated");
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::uint32_t u32() {
+    unsigned char le[4];
+    bytes(le, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(le[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    unsigned char le[8];
+    bytes(le, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(le[i]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+ private:
+  const std::vector<unsigned char>& buf_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<unsigned char> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open snapshot '" + path + "'");
+  std::vector<unsigned char> buf((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return buf;
+}
+
+/// Validate magic, version and the trailing checksum; returns the parsed
+/// header. Order matters: an old/new-format file must fail with a version
+/// message, not a checksum one, so version is checked first.
+SnapshotInfo validateAndParseHeader(const std::vector<unsigned char>& buf,
+                                    const std::string& path) {
+  if (buf.size() < kHeaderBytes + 8)
+    throw std::runtime_error("snapshot '" + path + "' is truncated");
+  if (std::memcmp(buf.data(), kMagic, 8) != 0)
+    throw std::runtime_error("'" + path + "' is not an nglts snapshot (bad magic)");
+  Reader r(buf, path);
+  char magic[8];
+  r.bytes(magic, 8);
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion)
+    throw std::runtime_error("snapshot '" + path + "' has version " + std::to_string(version) +
+                             ", this build reads version " + std::to_string(kSnapshotVersion));
+  const std::uint64_t expect = fnv1a(buf.data(), buf.size() - 8);
+  std::uint64_t trailer = 0;
+  for (int i = 0; i < 8; ++i)
+    trailer |= static_cast<std::uint64_t>(buf[buf.size() - 8 + i]) << (8 * i);
+  if (trailer != expect)
+    throw std::runtime_error("snapshot '" + path + "' is corrupted or truncated (checksum mismatch)");
+  SnapshotInfo info;
+  info.realSize = r.u32();
+  info.width = r.u32();
+  info.hasState = r.u32() != 0;
+  info.batchFingerprint = r.u64();
+  info.runIndex = r.u64();
+  info.cyclesDone = r.u64();
+  return info;
+}
+
+void writeAtomically(const std::string& path, const std::vector<unsigned char>& buf) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write snapshot '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) throw std::runtime_error("short write on snapshot '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot rename snapshot '" + tmp + "' -> '" + path + "'");
+}
+
+} // namespace
+
+SnapshotInfo peekSnapshot(const std::string& path) {
+  return validateAndParseHeader(readFile(path), path);
+}
+
+template <typename Real, int W>
+void saveSnapshot(const std::string& path, std::uint64_t batchFingerprint, std::uint64_t runIndex,
+                  std::uint64_t cyclesDone, const solver::Simulation<Real, W>* sim) {
+  Writer w;
+  w.bytes(kMagic, 8);
+  w.u32(kSnapshotVersion);
+  w.u32(sim ? static_cast<std::uint32_t>(sizeof(Real)) : 0);
+  w.u32(sim ? static_cast<std::uint32_t>(W) : 0);
+  w.u32(sim ? 1 : 0);
+  w.u64(batchFingerprint);
+  w.u64(runIndex);
+  w.u64(cyclesDone);
+
+  if (sim) {
+    const auto& st = sim->state();
+    const idx_t n = st.numElements();
+    const bool useStack = sim->config().scheme == solver::TimeScheme::kLtsBaseline;
+    w.u64(static_cast<std::uint64_t>(n));
+    w.u64(st.elSize());
+    w.u64(st.bufSize());
+    w.u64(st.stackSize());
+    w.u32(st.useB2() ? 1 : 0);
+    w.u32(st.useB3() ? 1 : 0);
+    w.u32(useStack ? 1 : 0);
+
+    const auto& steps = sim->clusterSteps();
+    w.u64(steps.size());
+    for (idx_t s : steps) w.u64(static_cast<std::uint64_t>(s));
+
+    // Arenas are contiguous per-element blocks at stride elSize/bufSize/
+    // stackSize; element 0's pointer is the arena base.
+    w.bytes(st.q(0), static_cast<std::size_t>(n) * st.elSize() * sizeof(Real));
+    w.bytes(st.b1(0), static_cast<std::size_t>(n) * st.bufSize() * sizeof(Real));
+    if (st.useB2()) w.bytes(st.b2(0), static_cast<std::size_t>(n) * st.bufSize() * sizeof(Real));
+    if (st.useB3()) w.bytes(st.b3(0), static_cast<std::size_t>(n) * st.bufSize() * sizeof(Real));
+    if (useStack)
+      w.bytes(st.derivStack(0), static_cast<std::size_t>(n) * st.stackSize() * sizeof(Real));
+
+    w.u64(static_cast<std::uint64_t>(sim->numReceivers()));
+    for (idx_t r = 0; r < sim->numReceivers(); ++r) {
+      const auto& traces = sim->receiver(r).traces;
+      w.u64(traces.size());
+      for (const seismo::Seismogram& s : traces) {
+        w.u64(s.times.size());
+        for (double t : s.times) w.f64(t);
+        for (const auto& v : s.values)
+          for (double x : v) w.f64(x);
+      }
+    }
+  }
+
+  w.appendChecksum();
+  writeAtomically(path, w.data());
+}
+
+template <typename Real, int W>
+SnapshotInfo loadSnapshot(const std::string& path, solver::Simulation<Real, W>& sim) {
+  const std::vector<unsigned char> buf = readFile(path);
+  const SnapshotInfo info = validateAndParseHeader(buf, path);
+  if (!info.hasState)
+    throw std::runtime_error("snapshot '" + path + "' is a run-boundary marker, carries no state");
+  if (info.realSize != sizeof(Real) || info.width != static_cast<std::uint32_t>(W))
+    throw std::runtime_error("snapshot '" + path + "' was saved with sizeof(Real)=" +
+                             std::to_string(info.realSize) + ", W=" + std::to_string(info.width) +
+                             " but this simulation uses sizeof(Real)=" +
+                             std::to_string(sizeof(Real)) + ", W=" + std::to_string(W));
+
+  Reader r(buf, path);
+  char skip[kHeaderBytes];
+  r.bytes(skip, kHeaderBytes);
+
+  auto& st = sim.stateMut();
+  const bool useStack = sim.config().scheme == solver::TimeScheme::kLtsBaseline;
+  const auto n = r.u64();
+  const auto elSize = r.u64();
+  const auto bufSize = r.u64();
+  const auto stackSize = r.u64();
+  const bool hasB2 = r.u32() != 0, hasB3 = r.u32() != 0, hasStack = r.u32() != 0;
+  if (n != static_cast<std::uint64_t>(st.numElements()) || elSize != st.elSize() ||
+      bufSize != st.bufSize() || stackSize != st.stackSize() || hasB2 != st.useB2() ||
+      hasB3 != st.useB3() || hasStack != useStack)
+    throw std::runtime_error("snapshot '" + path +
+                             "' does not match this simulation's arena layout "
+                             "(different mesh, scheme or configuration)");
+
+  const auto numSteps = r.u64();
+  std::vector<idx_t> steps(numSteps);
+  for (auto& s : steps) s = static_cast<idx_t>(r.u64());
+  sim.restoreClusterSteps(steps); // throws on a cluster-count mismatch
+
+  r.bytes(st.q(0), static_cast<std::size_t>(n) * elSize * sizeof(Real));
+  r.bytes(st.b1(0), static_cast<std::size_t>(n) * bufSize * sizeof(Real));
+  if (hasB2) r.bytes(st.b2(0), static_cast<std::size_t>(n) * bufSize * sizeof(Real));
+  if (hasB3) r.bytes(st.b3(0), static_cast<std::size_t>(n) * bufSize * sizeof(Real));
+  if (hasStack) r.bytes(st.derivStack(0), static_cast<std::size_t>(n) * stackSize * sizeof(Real));
+
+  const auto numReceivers = r.u64();
+  if (numReceivers != static_cast<std::uint64_t>(sim.numReceivers()))
+    throw std::runtime_error("snapshot '" + path + "' holds " + std::to_string(numReceivers) +
+                             " receivers, this simulation has " +
+                             std::to_string(sim.numReceivers()));
+  for (idx_t rec = 0; rec < sim.numReceivers(); ++rec) {
+    const auto lanes = r.u64();
+    auto& traces = sim.receiverMut(rec).traces;
+    if (lanes != traces.size())
+      throw std::runtime_error("snapshot '" + path + "' receiver " + std::to_string(rec) +
+                               " lane count mismatch");
+    for (auto& s : traces) {
+      const auto samples = r.u64();
+      s.times.resize(samples);
+      s.values.resize(samples);
+      for (auto& t : s.times) t = r.f64();
+      for (auto& v : s.values)
+        for (auto& x : v) x = r.f64();
+    }
+  }
+  return info;
+}
+
+template void saveSnapshot<double, 1>(const std::string&, std::uint64_t, std::uint64_t,
+                                      std::uint64_t, const solver::Simulation<double, 1>*);
+template void saveSnapshot<double, 2>(const std::string&, std::uint64_t, std::uint64_t,
+                                      std::uint64_t, const solver::Simulation<double, 2>*);
+template void saveSnapshot<double, 4>(const std::string&, std::uint64_t, std::uint64_t,
+                                      std::uint64_t, const solver::Simulation<double, 4>*);
+template SnapshotInfo loadSnapshot<double, 1>(const std::string&, solver::Simulation<double, 1>&);
+template SnapshotInfo loadSnapshot<double, 2>(const std::string&, solver::Simulation<double, 2>&);
+template SnapshotInfo loadSnapshot<double, 4>(const std::string&, solver::Simulation<double, 4>&);
+
+} // namespace nglts::batch

@@ -36,6 +36,14 @@ void printUsage() {
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
+      "      --batch-manifest F  batch scenario: request manifest file (one request\n"
+      "                        per line: id [source_scale [material_scale [dx dy dz]]])\n"
+      "      --batch-size N    batch scenario: synthesize N perturbed requests when\n"
+      "                        no manifest is given (default 4)\n"
+      "      --batch-width W   alias for --fused on the batch scenario (1|2|4)\n"
+      "      --checkpoint F    snapshot file for checkpoint/restore\n"
+      "      --checkpoint-every N  write a snapshot every N LTS cycles (0 = off)\n"
+      "      --restore         resume the batch from the --checkpoint file\n"
       "  -q, --quiet           suppress progress output\n"
       "  -h, --help            show this help\n");
 }
@@ -122,6 +130,18 @@ int main(int argc, char** argv) {
       opts.meshScale = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--output") {
       opts.outputPrefix = requireValue(argc, argv, i);
+    } else if (arg == "--batch-manifest") {
+      opts.batchManifest = requireValue(argc, argv, i);
+    } else if (arg == "--batch-size") {
+      opts.batchSize = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--batch-width") {
+      opts.fusedWidth = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--checkpoint") {
+      opts.checkpointFile = requireValue(argc, argv, i);
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpointEvery = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--restore") {
+      opts.restore = true;
     } else if (arg == "-q" || arg == "--quiet") {
       opts.quiet = true;
     } else {

@@ -66,6 +66,20 @@ struct ScenarioOptions {
   /// Suppress per-scenario progress printing (the driver still prints the
   /// final report summary).
   bool quiet = false;
+
+  // -- `batch` scenario (src/cli/scenario_batch.cpp) ------------------------
+  /// Request manifest file (batch/manifest.hpp format); empty = synthesize
+  /// `batchSize` perturbed quickstart requests.
+  std::string batchManifest;
+  /// Number of synthesized ensemble requests when no manifest is given
+  /// (>= 1). Ignored with `batchManifest`.
+  int_t batchSize = 4;
+  /// Checkpoint cadence in LTS cycles (`--checkpoint-every`; 0 = off).
+  idx_t checkpointEvery = 0;
+  /// Snapshot file for checkpoint/restore (`--checkpoint`).
+  std::string checkpointFile;
+  /// Resume the batch from `checkpointFile` (`--restore`).
+  bool restore = false;
 };
 
 /// What a scenario hands back to the driver (and to tests): the solver
@@ -129,10 +143,21 @@ class ScenarioRegistry {
   std::vector<std::unique_ptr<Scenario>> scenarios_;
 };
 
-/// Register the built-in scenarios (quickstart, loh3, lahabra, fused) into
-/// the global registry. Idempotent — safe to call from multiple entry
-/// points (driver main, example wrappers, tests).
+/// Register the built-in scenarios (quickstart, loh3, lahabra, fused,
+/// batch) into the global registry. Idempotent — safe to call from multiple
+/// entry points (driver main, example wrappers, tests).
 void registerBuiltinScenarios();
+
+/// The `batch` scenario (scenario_batch.cpp): ensemble batch execution of
+/// perturbed quickstart requests through the `BatchEngine`.
+std::unique_ptr<Scenario> makeBatchScenario();
+
+/// Apply the generic `SimConfig` overrides (order, scheme, clusters,
+/// kernel backend, lambda, threads) and range-check them. Shared by the
+/// scenario implementations (scenarios_builtin.cpp, scenario_batch.cpp);
+/// `defaultRanks` only feeds the `--threads` default.
+void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
+                            int_t defaultRanks = 1);
 
 /// Parse a `--scheme` value: "gts", "lts" (next-generation clustered LTS)
 /// or "baseline" (buffer+derivative scheme of [15]).

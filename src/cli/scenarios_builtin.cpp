@@ -55,47 +55,14 @@ void progressf(const ScenarioOptions& opts, const char* fmt, ...) {
   std::fflush(stdout);
 }
 
-/// Apply the generic SimConfig overrides (order, scheme, clusters, lambda,
-/// threads) and range-check them, plus the options consumed elsewhere
-/// (endTime, meshScale); fusedWidth is checked per scenario by resolveWidth.
-/// `defaultRanks` is the scenario's rank count when `--ranks` is unset (1
-/// for the shared-memory scenarios, lahabra passes its distributed
-/// default) — it only feeds the `--threads` default below.
+/// Local alias for `applyScenarioOverrides` (defined at the bottom of this
+/// file, shared with scenario_batch.cpp); fusedWidth is checked per
+/// scenario by resolveWidth. `defaultRanks` is the scenario's rank count
+/// when `--ranks` is unset (1 for the shared-memory scenarios, lahabra
+/// passes its distributed default) — it only feeds the `--threads` default.
 void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
                     int_t defaultRanks = 1) {
-  if (opts.order) cfg.order = *opts.order;
-  if (opts.scheme) cfg.scheme = *opts.scheme;
-  if (opts.numClusters) cfg.numClusters = *opts.numClusters;
-  if (opts.kernelBackend) cfg.kernelBackend = *opts.kernelBackend;
-  // Resolve now so an explicit --kernel vector on an unsupported build/host
-  // fails at config time (never a silent fallback mid-run).
-  linalg::resolveKernelBackend(cfg.kernelBackend);
-  if (opts.lambda) {
-    cfg.lambda = *opts.lambda;
-    cfg.autoLambda = false;
-  }
-  if (cfg.order < 1 || cfg.order > 7)
-    throw std::invalid_argument("order must be in 1..7");
-  if (cfg.numClusters < 1)
-    throw std::invalid_argument("clusters must be >= 1");
-  if (cfg.lambda < 0.0)
-    throw std::invalid_argument("lambda must be >= 0");
-  if (opts.endTime && !(*opts.endTime > 0.0))
-    throw std::invalid_argument("end time must be > 0");
-  if (!(opts.meshScale > 0.0))
-    throw std::invalid_argument("mesh scale must be > 0");
-  if (opts.ranks && *opts.ranks < 1)
-    throw std::invalid_argument("ranks must be >= 1");
-  // Executor threads per rank: explicit --threads wins; the default splits
-  // the hardware threads evenly among the ranks (hybrid --ranks x --threads
-  // runs). Results are bitwise-identical for every valid value.
-  const int_t nRanks = std::max<int_t>(1, opts.ranks.value_or(defaultRanks));
-  cfg.numThreads = opts.threads.value_or(
-      std::max<int_t>(1, solver::hardwareThreads() / nRanks));
-  if (cfg.numThreads < 1)
-    throw std::invalid_argument("threads must be >= 1, got " +
-                                std::to_string(cfg.numThreads) +
-                                " (--threads 0 is not a serial run; use --threads 1)");
+  applyScenarioOverrides(cfg, opts, defaultRanks);
 }
 
 
@@ -692,6 +659,43 @@ class FusedScenario final : public Scenario {
 
 } // namespace
 
+void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
+                            int_t defaultRanks) {
+  if (opts.order) cfg.order = *opts.order;
+  if (opts.scheme) cfg.scheme = *opts.scheme;
+  if (opts.numClusters) cfg.numClusters = *opts.numClusters;
+  if (opts.kernelBackend) cfg.kernelBackend = *opts.kernelBackend;
+  // Resolve now so an explicit --kernel vector on an unsupported build/host
+  // fails at config time (never a silent fallback mid-run).
+  linalg::resolveKernelBackend(cfg.kernelBackend);
+  if (opts.lambda) {
+    cfg.lambda = *opts.lambda;
+    cfg.autoLambda = false;
+  }
+  if (cfg.order < 1 || cfg.order > 7)
+    throw std::invalid_argument("order must be in 1..7");
+  if (cfg.numClusters < 1)
+    throw std::invalid_argument("clusters must be >= 1");
+  if (cfg.lambda < 0.0)
+    throw std::invalid_argument("lambda must be >= 0");
+  if (opts.endTime && !(*opts.endTime > 0.0))
+    throw std::invalid_argument("end time must be > 0");
+  if (!(opts.meshScale > 0.0))
+    throw std::invalid_argument("mesh scale must be > 0");
+  if (opts.ranks && *opts.ranks < 1)
+    throw std::invalid_argument("ranks must be >= 1");
+  // Executor threads per rank: explicit --threads wins; the default splits
+  // the hardware threads evenly among the ranks (hybrid --ranks x --threads
+  // runs). Results are bitwise-identical for every valid value.
+  const int_t nRanks = std::max<int_t>(1, opts.ranks.value_or(defaultRanks));
+  cfg.numThreads = opts.threads.value_or(
+      std::max<int_t>(1, solver::hardwareThreads() / nRanks));
+  if (cfg.numThreads < 1)
+    throw std::invalid_argument("threads must be >= 1, got " +
+                                std::to_string(cfg.numThreads) +
+                                " (--threads 0 is not a serial run; use --threads 1)");
+}
+
 void registerBuiltinScenarios() {
   static const bool registered = [] {
     auto& reg = ScenarioRegistry::instance();
@@ -699,6 +703,7 @@ void registerBuiltinScenarios() {
     reg.add(std::make_unique<Loh3Scenario>());
     reg.add(std::make_unique<LaHabraScenario>());
     reg.add(std::make_unique<FusedScenario>());
+    reg.add(makeBatchScenario());
     return true;
   }();
   (void)registered;

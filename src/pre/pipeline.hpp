@@ -36,6 +36,12 @@ struct PipelineConfig {
   double lambda = 1.0;
   int_t numPartitions = 1;
   bool freeSurfaceTop = true;
+  /// Receiver positions the caller binds *after* preprocessing. Receivers
+  /// are passive observers: they never influence the mesh, materials,
+  /// clustering or partition, so this field is deliberately EXCLUDED from
+  /// the memoization key (`pipelineCacheKey`, pipeline_cache.hpp) — two
+  /// configs differing only here share one cached `PipelineResult`.
+  std::vector<std::array<double, 3>> receivers;
 };
 
 struct PipelineResult {

@@ -8,6 +8,16 @@
 
 namespace nglts::seismo {
 
+LayeredModel::LayeredModel(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  if (layers_.empty()) throw std::invalid_argument("LayeredModel: at least one layer required");
+}
+
+MaterialSample LayeredModel::at(const std::array<double, 3>& x) const {
+  for (const Layer& l : layers_)
+    if (x[2] >= l.zBottom) return l.sample;
+  return layers_.back().sample; // halfspace below the last listed bottom
+}
+
 MaterialSample Loh3Model::at(const std::array<double, 3>& x) const {
   const double depth = zTop_ - x[2];
   if (depth < kLayerThickness) return {2600.0, 4000.0, 2000.0, 120.0, 40.0};

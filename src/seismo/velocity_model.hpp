@@ -38,6 +38,25 @@ class HomogeneousModel final : public VelocityModel {
   MaterialSample s_;
 };
 
+/// Horizontally layered model: layers listed top-down, each extending from
+/// the previous layer's bottom to its own `zBottom`; the last layer is the
+/// halfspace (its zBottom is ignored). Covers the quickstart-style
+/// soft-over-stiff boxes as a `VelocityModel` so they can feed the
+/// preprocessing pipeline (pre/pipeline.hpp) and the batch engine.
+class LayeredModel final : public VelocityModel {
+ public:
+  struct Layer {
+    double zBottom;        ///< lower z bound of the layer (z up)
+    MaterialSample sample;
+  };
+  /// Throws `std::invalid_argument` when `layers` is empty.
+  explicit LayeredModel(std::vector<Layer> layers);
+  MaterialSample at(const std::array<double, 3>& x) const override;
+
+ private:
+  std::vector<Layer> layers_;
+};
+
 /// LOH.3: 1000 m layer (vs 2000, vp 4000, rho 2600, Qs 40, Qp 120) over a
 /// halfspace (vs 3464, vp 6000, rho 2700, Qs 69.3, Qp 155.9).
 class Loh3Model final : public VelocityModel {

@@ -230,6 +230,15 @@ void StepExecutor<Real, W>::runCycle() {
 }
 
 template <typename Real, int W>
+void StepExecutor<Real, W>::restoreClusterSteps(const std::vector<idx_t>& steps) {
+  if (steps.size() != clusterStep_.size())
+    throw std::invalid_argument("restoreClusterSteps: got " + std::to_string(steps.size()) +
+                                " counters for " + std::to_string(clusterStep_.size()) +
+                                " clusters");
+  clusterStep_ = steps;
+}
+
+template <typename Real, int W>
 std::uint64_t StepExecutor<Real, W>::drainFlops() {
   return pool_.drainFlops();
 }
@@ -239,6 +248,7 @@ template class StepExecutor<float, 8>;
 template class StepExecutor<float, 16>;
 template class StepExecutor<double, 1>;
 template class StepExecutor<double, 2>;
+template class StepExecutor<double, 4>;
 
 template std::unique_ptr<NeighborDataPolicy<float, 1>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<float, 1>&, const kernels::AderKernels<float, 1>&,
@@ -254,6 +264,9 @@ template std::unique_ptr<NeighborDataPolicy<double, 1>> makeNeighborDataPolicy(
     const std::vector<double>&);
 template std::unique_ptr<NeighborDataPolicy<double, 2>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<double, 2>&, const kernels::AderKernels<double, 2>&,
+    const std::vector<double>&);
+template std::unique_ptr<NeighborDataPolicy<double, 4>> makeNeighborDataPolicy(
+    const SimConfig&, const SolverState<double, 4>&, const kernels::AderKernels<double, 4>&,
     const std::vector<double>&);
 
 } // namespace nglts::solver

@@ -115,6 +115,14 @@ class StepExecutor {
   void runOp(const lts::ScheduleOp& op);
 
   idx_t clusterStep(int_t cluster) const { return clusterStep_[cluster]; }
+  /// All per-cluster step counters — the executor's schedule position
+  /// (serialized by batch/checkpoint.*).
+  const std::vector<idx_t>& clusterSteps() const { return clusterStep_; }
+  /// Restore the schedule position from a snapshot. The counters feed the
+  /// sub-step parity and the element-local time t0 = step * dt, so a resumed
+  /// run replays the exact op sequence of an uninterrupted one. Throws
+  /// `std::invalid_argument` on a cluster-count mismatch.
+  void restoreClusterSteps(const std::vector<idx_t>& steps);
   const std::vector<lts::ScheduleOp>& schedule() const { return schedule_; }
   const NeighborDataPolicy<Real, W>& neighborPolicy() const { return *policy_; }
 
@@ -148,5 +156,6 @@ extern template class StepExecutor<float, 8>;
 extern template class StepExecutor<float, 16>;
 extern template class StepExecutor<double, 1>;
 extern template class StepExecutor<double, 2>;
+extern template class StepExecutor<double, 4>;
 
 } // namespace nglts::solver

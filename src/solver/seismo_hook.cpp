@@ -77,6 +77,11 @@ const seismo::Receiver& SeismoHook<Real, W>::receiver(idx_t i) const {
 }
 
 template <typename Real, int W>
+seismo::Receiver& SeismoHook<Real, W>::mutableReceiver(idx_t i) {
+  return const_cast<seismo::Receiver&>(static_cast<const SeismoHook*>(this)->receiver(i));
+}
+
+template <typename Real, int W>
 void SeismoHook<Real, W>::afterLocal(idx_t internalEl, Real* q, const Real* stack, double t0,
                                      double dt, std::uint64_t& flops) {
   for (idx_t si : elementSources_[internalEl]) {
@@ -169,6 +174,7 @@ template class SeismoHook<float, 8>;
 template class SeismoHook<float, 16>;
 template class SeismoHook<double, 1>;
 template class SeismoHook<double, 2>;
+template class SeismoHook<double, 4>;
 
 template void projectInitialCondition(const kernels::AderKernels<float, 1>&,
                                       const mesh::TetMesh&,
@@ -192,6 +198,11 @@ template void projectInitialCondition(const kernels::AderKernels<double, 2>&,
                                       const mesh::TetMesh&,
                                       const std::vector<mesh::ElementGeometry>&,
                                       const InitialConditionFn&, SolverState<double, 2>&,
+                                      idx_t);
+template void projectInitialCondition(const kernels::AderKernels<double, 4>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<double, 4>&,
                                       idx_t);
 
 } // namespace nglts::solver

@@ -60,6 +60,9 @@ class SeismoHook final : public StepExecutor<Real, W>::LocalHook {
 
   /// Bounds-checked receiver access; throws `std::out_of_range`.
   const seismo::Receiver& receiver(idx_t i) const;
+  /// Mutable bounds-checked access for checkpoint restore (batch/checkpoint.*
+  /// replaces the recorded traces with the snapshot's); same range contract.
+  seismo::Receiver& mutableReceiver(idx_t i);
   idx_t numReceivers() const { return static_cast<idx_t>(receivers_.size()); }
 
   // -- StepExecutor<Real, W>::LocalHook (internal element ids) --------------
@@ -115,6 +118,7 @@ extern template class SeismoHook<float, 8>;
 extern template class SeismoHook<float, 16>;
 extern template class SeismoHook<double, 1>;
 extern template class SeismoHook<double, 2>;
+extern template class SeismoHook<double, 4>;
 
 extern template void projectInitialCondition(
     const kernels::AderKernels<float, 1>&, const mesh::TetMesh&,
@@ -136,5 +140,9 @@ extern template void projectInitialCondition(
     const kernels::AderKernels<double, 2>&, const mesh::TetMesh&,
     const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
     SolverState<double, 2>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<double, 4>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<double, 4>&, idx_t);
 
 } // namespace nglts::solver

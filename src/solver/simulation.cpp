@@ -55,11 +55,18 @@ idx_t Simulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
 }
 
 template <typename Real, int W>
+std::uint64_t Simulation<Real, W>::cyclesFor(double endTime) const {
+  return static_cast<std::uint64_t>(std::ceil(endTime / cycleDt() - 1e-9));
+}
+
+template <typename Real, int W>
 PerfStats Simulation<Real, W>::run(double endTime) {
+  return runCycles(cyclesFor(endTime));
+}
+
+template <typename Real, int W>
+PerfStats Simulation<Real, W>::runCycles(std::uint64_t cycles) {
   PerfStats stats;
-  const double dtCycle = cycleDt();
-  const std::uint64_t cycles =
-      static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
   executor_->drainFlops(); // reset counters for this run
 
   std::uint64_t updatesPerCycle = 0;
@@ -70,7 +77,7 @@ PerfStats Simulation<Real, W>::run(double endTime) {
   for (std::uint64_t c = 0; c < cycles; ++c) executor_->runCycle();
   stats.seconds = timer.seconds();
   stats.cycles = cycles;
-  stats.simulatedTime = cycles * dtCycle;
+  stats.simulatedTime = cycles * cycleDt();
   stats.elementUpdates = cycles * updatesPerCycle;
   stats.flops = executor_->drainFlops();
   return stats;
@@ -143,5 +150,6 @@ template class Simulation<float, 8>;
 template class Simulation<float, 16>;
 template class Simulation<double, 1>;
 template class Simulation<double, 2>;
+template class Simulation<double, 4>;
 
 } // namespace nglts::solver

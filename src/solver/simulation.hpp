@@ -83,6 +83,30 @@ class Simulation {
   /// Advance by full LTS cycles until at least `endTime` is covered.
   PerfStats run(double endTime);
 
+  /// Number of full LTS cycles `run(endTime)` executes.
+  std::uint64_t cyclesFor(double endTime) const;
+  /// Advance by exactly `cycles` full LTS cycles — the checkpoint driver's
+  /// entry point (batch/checkpoint.*): snapshots are taken at cycle
+  /// boundaries, and `runCycles(a); runCycles(b)` is bitwise-identical to
+  /// `runCycles(a + b)` (step counters persist across calls).
+  PerfStats runCycles(std::uint64_t cycles);
+
+  // -- checkpoint/restart surface (batch/checkpoint.*) ----------------------
+  /// Mutable arena access for snapshot save/load. The arenas hold the
+  /// complete time-loop state; everything else (mesh, operators, schedule)
+  /// is rebuilt deterministically from the constructor inputs.
+  SolverState<Real, W>& stateMut() { return *state_; }
+  /// The executor's per-cluster step counters (schedule position).
+  const std::vector<idx_t>& clusterSteps() const { return executor_->clusterSteps(); }
+  /// Restore the schedule position; throws `std::invalid_argument` on a
+  /// cluster-count mismatch.
+  void restoreClusterSteps(const std::vector<idx_t>& steps) {
+    executor_->restoreClusterSteps(steps);
+  }
+  /// Mutable receiver access for snapshot trace restore; same bounds
+  /// contract as `receiver()`.
+  seismo::Receiver& receiverMut(idx_t i) { return hook_->mutableReceiver(i); }
+
   /// Pointwise solution sample (elastic quantities) for verification.
   std::array<double, kElasticVars> sample(idx_t element, const std::array<double, 3>& xi,
                                           int_t lane = 0) const;
@@ -118,5 +142,6 @@ extern template class Simulation<float, 8>;
 extern template class Simulation<float, 16>;
 extern template class Simulation<double, 1>;
 extern template class Simulation<double, 2>;
+extern template class Simulation<double, 4>;
 
 } // namespace nglts::solver

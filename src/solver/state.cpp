@@ -109,5 +109,6 @@ template class SolverState<float, 8>;
 template class SolverState<float, 16>;
 template class SolverState<double, 1>;
 template class SolverState<double, 2>;
+template class SolverState<double, 4>;
 
 } // namespace nglts::solver

@@ -133,5 +133,6 @@ extern template class SolverState<float, 8>;
 extern template class SolverState<float, 16>;
 extern template class SolverState<double, 1>;
 extern template class SolverState<double, 2>;
+extern template class SolverState<double, 4>;
 
 } // namespace nglts::solver

@@ -1,0 +1,315 @@
+// Equivalence hardening for the ensemble batch engine: a batch of N
+// requests must produce seismograms *bitwise-identical* to N independent
+// runs (per-lane arithmetic is independent and identically ordered for
+// every fused width), while executing the preprocessing pipeline once per
+// distinct material configuration. Covers {GTS, next-gen LTS} x fused
+// widths {1, 2, 4}, cache hit/miss accounting, lane-packing plans for
+// heterogeneous perturbations, and the manifest parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "batch/batch_engine.hpp"
+#include "batch/manifest.hpp"
+#include "pre/pipeline.hpp"
+#include "pre/pipeline_cache.hpp"
+#include "solver/simulation.hpp"
+
+namespace nbatch = nglts::batch;
+namespace npre = nglts::pre;
+namespace nsol = nglts::solver;
+namespace nsei = nglts::seismo;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+/// Coarse, fast base: the quickstart two-layer box at ~0.4x resolution
+/// (192 elements), short end time.
+nbatch::BatchConfig smallBatchConfig(nsol::TimeScheme scheme) {
+  nbatch::BatchConfig cfg = nbatch::quickstartBatchConfig();
+  cfg.sim.scheme = scheme;
+  cfg.endTime = 0.2;
+  cfg.pipeline.minEdge /= 0.4;
+  cfg.pipeline.maxEdge /= 0.4;
+  return cfg;
+}
+
+/// A deliberately heterogeneous ensemble: fusable source scales, one
+/// material perturbation (splits the fused group), cache-neutral receiver
+/// offsets.
+std::vector<nbatch::ScenarioRequest> mixedRequests() {
+  return {
+      {"a", 1.0, 1.0, {0.0, 0.0, 0.0}},
+      {"b", 1.5, 1.0, {20.0, 0.0, 0.0}},
+      {"c", 0.5, 1.0, {0.0, -30.0, 0.0}},
+      {"d", 2.0, 1.15, {0.0, 0.0, 0.0}},
+      {"e", 1.25, 1.0, {0.0, 0.0, 10.0}},
+  };
+}
+
+/// Ground truth: run one request through the *non-batched* path — the
+/// production pipeline plus a W = 1 `Simulation` — mirroring what a user
+/// script would do per ensemble member. No BatchEngine involvement.
+nsei::Seismogram independentRun(const nbatch::BatchConfig& cfg,
+                                const nbatch::ScenarioRequest& req) {
+  npre::PipelineConfig p = cfg.pipeline;
+  p.order = cfg.sim.order;
+  p.mechanisms = cfg.sim.mechanisms;
+  p.cfl = cfg.sim.cfl;
+  const bool gts = cfg.sim.scheme == nsol::TimeScheme::kGts;
+  p.numClusters = gts ? 1 : cfg.sim.numClusters;
+  p.autoLambda = gts ? false : cfg.sim.autoLambda;
+  p.lambda = cfg.sim.lambda;
+  p.numPartitions = 1;
+
+  const nsei::LayeredModel base = nbatch::quickstartBatchModel();
+  const nbatch::ScaledVelocityModel scaled(base, req.materialScale);
+  const npre::PipelineResult pipe = npre::runPipeline(scaled, p);
+
+  nsol::SimConfig rc = cfg.sim;
+  rc.lambda = pipe.clustering.lambda;
+  rc.autoLambda = false;
+  nsol::Simulation<double, 1> sim(pipe.mesh, pipe.materials, rc);
+  sim.addPointSource(
+      nsei::momentTensorSource(cfg.sourcePosition, cfg.sourceMoment,
+                               std::make_shared<nsei::RickerWavelet>(cfg.sourceFrequency,
+                                                                     cfg.sourceDelay)),
+      {req.sourceScale});
+  const idx_t rec = sim.addReceiver({cfg.receiverPosition[0] + req.receiverOffset[0],
+                                     cfg.receiverPosition[1] + req.receiverOffset[1],
+                                     cfg.receiverPosition[2] + req.receiverOffset[2]});
+  EXPECT_GE(rec, 0);
+  sim.run(cfg.endTime);
+  return sim.receiver(rec).traces[0];
+}
+
+void expectBitwiseEqual(const nsei::Seismogram& got, const nsei::Seismogram& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.times.size(), want.times.size()) << label;
+  for (std::size_t i = 0; i < got.times.size(); ++i) {
+    ASSERT_EQ(got.times[i], want.times[i]) << label << " sample " << i;
+    for (int_t v = 0; v < nglts::kElasticVars; ++v)
+      ASSERT_EQ(got.values[i][v], want.values[i][v])
+          << label << " sample " << i << " quantity " << v;
+  }
+}
+
+std::vector<nbatch::RequestResult> runBatch(const nbatch::BatchConfig& cfg,
+                                            const std::vector<nbatch::ScenarioRequest>& reqs,
+                                            nbatch::BatchStats* statsOut = nullptr) {
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+  engine.add(reqs);
+  std::vector<nbatch::RequestResult> results;
+  const nbatch::BatchStats stats = engine.run(
+      [&](const nbatch::RequestResult& r) { results.push_back(r); });
+  if (statsOut) *statsOut = stats;
+  return results;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Batch-of-N bitwise-equals N independent runs: {GTS, LTS} x {W = 1, 2, 4}
+// ---------------------------------------------------------------------------
+
+class BatchEquivalence : public ::testing::TestWithParam<nsol::TimeScheme> {};
+
+TEST_P(BatchEquivalence, MatchesIndependentRunsAtEveryWidth) {
+  const nbatch::BatchConfig cfg = smallBatchConfig(GetParam());
+  const std::vector<nbatch::ScenarioRequest> reqs = mixedRequests();
+
+  // Independent references, one pipeline + W = 1 solve per request.
+  std::vector<nsei::Seismogram> want;
+  for (const auto& r : reqs) want.push_back(independentRun(cfg, r));
+
+  for (const int_t width : {int_t{1}, int_t{2}, int_t{4}}) {
+    nbatch::BatchConfig wcfg = cfg;
+    wcfg.maxFusedWidth = width;
+    nbatch::BatchStats stats;
+    const auto results = runBatch(wcfg, reqs, &stats);
+    ASSERT_EQ(results.size(), reqs.size()) << "width " << width;
+    EXPECT_EQ(stats.completedRequests, static_cast<idx_t>(reqs.size()));
+    // Two distinct material configurations -> exactly two pipeline builds,
+    // independent of the request count and the packing width.
+    EXPECT_EQ(stats.pipelineBuilds, 2) << "width " << width;
+    for (const auto& res : results) {
+      ASSERT_GE(res.requestIndex, 0);
+      ASSERT_LT(res.requestIndex, static_cast<idx_t>(want.size()));
+      EXPECT_EQ(res.id, reqs[static_cast<std::size_t>(res.requestIndex)].id);
+      expectBitwiseEqual(res.trace, want[static_cast<std::size_t>(res.requestIndex)],
+                         "scheme " + std::to_string(static_cast<int>(GetParam())) + " width " +
+                             std::to_string(width) + " request " + res.id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BatchEquivalence,
+                         ::testing::Values(nsol::TimeScheme::kGts,
+                                           nsol::TimeScheme::kLtsNextGen),
+                         [](const auto& info) {
+                           return info.param == nsol::TimeScheme::kGts ? "Gts" : "LtsNextGen";
+                         });
+
+// ---------------------------------------------------------------------------
+// Acceptance: 8 perturbed quickstart requests, preprocessing executed ONCE
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngine, EightRequestsOnePipelineBuild) {
+  nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kLtsNextGen);
+  cfg.maxFusedWidth = 4;
+  std::vector<nbatch::ScenarioRequest> reqs;
+  for (int i = 0; i < 8; ++i) {
+    nbatch::ScenarioRequest r;
+    r.id = "req" + std::to_string(i);
+    r.sourceScale = 1.0 + 0.25 * i;          // fusable
+    r.receiverOffset = {5.0 * i, 0.0, 0.0};  // cache-neutral
+    reqs.push_back(r);                       // materialScale 1.0 everywhere
+  }
+
+  std::vector<nsei::Seismogram> want;
+  for (const auto& r : reqs) want.push_back(independentRun(cfg, r));
+
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+  engine.add(reqs);
+  std::vector<nbatch::RequestResult> results;
+  const nbatch::BatchStats stats =
+      engine.run([&](const nbatch::RequestResult& r) { results.push_back(r); });
+
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_EQ(engine.cache().builds(), 1);  // preprocessing executed once...
+  EXPECT_EQ(stats.pipelineBuilds, 1);
+  EXPECT_EQ(stats.runs, 2);               // ...for two fused W = 4 runs
+  for (const auto& res : results) {
+    EXPECT_EQ(res.fusedWidth, 4);
+    expectBitwiseEqual(res.trace, want[static_cast<std::size_t>(res.requestIndex)],
+                       "request " + res.id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache hit/miss accounting on config-hash deltas
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngine, CacheHitsOnReceiverOnlyAndSourceOnlyDeltas) {
+  nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kLtsNextGen);
+  cfg.maxFusedWidth = 1; // every request becomes its own run -> hits visible
+  const std::vector<nbatch::ScenarioRequest> reqs = {
+      {"base", 1.0, 1.0, {0.0, 0.0, 0.0}},
+      {"recv", 1.0, 1.0, {25.0, 0.0, 0.0}},   // receiver-only delta: HIT
+      {"src", 1.75, 1.0, {0.0, 0.0, 0.0}},    // source-only delta: HIT
+      {"mat", 1.0, 1.2, {0.0, 0.0, 0.0}},     // material delta: MISS
+  };
+  nbatch::BatchStats stats;
+  const auto results = runBatch(cfg, reqs, &stats);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(stats.runs, 4);
+  EXPECT_EQ(stats.pipelineBuilds, 2); // base config + the 1.2x material
+  EXPECT_EQ(stats.pipelineHits, 2);   // "recv" and "src" reuse the base build
+}
+
+// ---------------------------------------------------------------------------
+// Lane packing of heterogeneous perturbations
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngine, PlanPacksCompatibleRequestsGreedily) {
+  nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kLtsNextGen);
+  cfg.maxFusedWidth = 4;
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+  // 5 base-material requests (indices 0, 1, 2, 4, 6) + 2 perturbed-material
+  // requests (3, 5): expect runs [4, 1] for the first group and [2] for the
+  // second, submission order preserved inside each run.
+  for (int i = 0; i < 7; ++i) {
+    nbatch::ScenarioRequest r;
+    r.id = "r" + std::to_string(i);
+    r.sourceScale = 1.0 + 0.1 * i;
+    r.materialScale = (i == 3 || i == 5) ? 1.1 : 1.0;
+    engine.add(r);
+  }
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].width, 4);
+  EXPECT_EQ(plan[0].requests, (std::vector<idx_t>{0, 1, 2, 4}));
+  EXPECT_EQ(plan[1].width, 1);
+  EXPECT_EQ(plan[1].requests, (std::vector<idx_t>{6}));
+  EXPECT_EQ(plan[2].width, 2);
+  EXPECT_EQ(plan[2].requests, (std::vector<idx_t>{3, 5}));
+  EXPECT_EQ(plan[0].pipelineKey, plan[1].pipelineKey);
+  EXPECT_NE(plan[0].pipelineKey, plan[2].pipelineKey);
+}
+
+TEST(BatchEngine, PlanRespectsMaxFusedWidth) {
+  nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kLtsNextGen);
+  cfg.maxFusedWidth = 2;
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+  for (int i = 0; i < 5; ++i)
+    engine.add({"r" + std::to_string(i), 1.0 + 0.1 * i, 1.0, {0.0, 0.0, 0.0}});
+  const auto& plan = engine.plan();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].width, 2);
+  EXPECT_EQ(plan[1].width, 2);
+  EXPECT_EQ(plan[2].width, 1);
+}
+
+TEST(BatchEngine, RejectsInvalidConfig) {
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  {
+    nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kGts);
+    cfg.maxFusedWidth = 3;
+    EXPECT_THROW((nbatch::BatchEngine(model, cfg)), std::invalid_argument);
+  }
+  {
+    nbatch::BatchConfig cfg = smallBatchConfig(nsol::TimeScheme::kGts);
+    cfg.checkpointEveryCycles = 4; // cadence without a path
+    EXPECT_THROW((nbatch::BatchEngine(model, cfg)), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing
+// ---------------------------------------------------------------------------
+
+TEST(BatchManifest, ParsesFieldsDefaultsAndComments) {
+  std::istringstream in(
+      "# ensemble definition\n"
+      "base\n"
+      "louder 2.0\n"
+      "stiff 1.0 1.2\n"
+      "moved 1.5 1.0 25 -10 5  # trailing comment\n"
+      "\n");
+  const auto reqs = nbatch::parseManifest(in, "test");
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_EQ(reqs[0].id, "base");
+  EXPECT_DOUBLE_EQ(reqs[0].sourceScale, 1.0);
+  EXPECT_DOUBLE_EQ(reqs[1].sourceScale, 2.0);
+  EXPECT_DOUBLE_EQ(reqs[2].materialScale, 1.2);
+  EXPECT_EQ(reqs[3].receiverOffset, (std::array<double, 3>{25.0, -10.0, 5.0}));
+}
+
+TEST(BatchManifest, ErrorsNameTheLine) {
+  {
+    std::istringstream in("ok 1.0\nbad 1.0 not-a-number\n");
+    try {
+      nbatch::parseManifest(in, "m");
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("m:2"), std::string::npos) << e.what();
+    }
+  }
+  {
+    std::istringstream in("partial 1.0 1.0 5 5\n"); // offset needs all three
+    EXPECT_THROW(nbatch::parseManifest(in, "m"), std::runtime_error);
+  }
+  {
+    std::istringstream in("# only comments\n\n");
+    EXPECT_THROW(nbatch::parseManifest(in, "m"), std::runtime_error);
+  }
+  {
+    std::istringstream in("neg 1.0 -0.5\n"); // material scale must be positive
+    EXPECT_THROW(nbatch::parseManifest(in, "m"), std::runtime_error);
+  }
+}

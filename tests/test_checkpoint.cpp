@@ -1,0 +1,345 @@
+// Checkpoint/restart hardening: kill-and-restore mid-schedule must be
+// bitwise-identical to an uninterrupted run (at the Simulation level and
+// through the BatchEngine's kill/resume path), and damaged snapshots —
+// truncated, bit-flipped, wrong version, wrong batch — must fail with
+// clear `std::runtime_error`s, never resume silently into wrong state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "batch/batch_engine.hpp"
+#include "batch/checkpoint.hpp"
+#include "pre/pipeline.hpp"
+#include "solver/simulation.hpp"
+
+namespace nbatch = nglts::batch;
+namespace npre = nglts::pre;
+namespace nsol = nglts::solver;
+namespace nsei = nglts::seismo;
+using nglts::idx_t;
+using nglts::int_t;
+
+namespace {
+
+/// Unique-ish per-test snapshot path under the build dir's cwd.
+std::string snapPath(const std::string& tag) { return "test_checkpoint_" + tag + ".snap"; }
+
+struct Fixture {
+  npre::PipelineResult pipe;
+  nsol::SimConfig cfg;
+
+  explicit Fixture(nsol::TimeScheme scheme) {
+    const nbatch::BatchConfig base = nbatch::quickstartBatchConfig();
+    npre::PipelineConfig p = base.pipeline;
+    p.minEdge /= 0.4;
+    p.maxEdge /= 0.4;
+    p.order = 3;
+    p.mechanisms = base.sim.mechanisms;
+    p.numClusters = scheme == nsol::TimeScheme::kGts ? 1 : 3;
+    p.autoLambda = false;
+    const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+    pipe = npre::runPipeline(model, p);
+    cfg = base.sim;
+    cfg.order = 3;
+    cfg.scheme = scheme;
+    cfg.numClusters = p.numClusters;
+    cfg.lambda = pipe.clustering.lambda;
+    cfg.autoLambda = false;
+  }
+
+  template <int W>
+  std::unique_ptr<nsol::Simulation<double, W>> makeSim() const {
+    auto sim = std::make_unique<nsol::Simulation<double, W>>(pipe.mesh, pipe.materials, cfg);
+    std::vector<double> laneScale(W);
+    for (int w = 0; w < W; ++w) laneScale[static_cast<std::size_t>(w)] = 1.0 + 0.5 * w;
+    sim->addPointSource(
+        nsei::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0},
+                                 std::make_shared<nsei::RickerWavelet>(2.0, 0.6)),
+        laneScale);
+    EXPECT_GE(sim->addReceiver({800.0, 750.0, -20.0}), 0);
+    return sim;
+  }
+};
+
+template <int W>
+void expectSimsBitwiseEqual(const nsol::Simulation<double, W>& a,
+                            const nsol::Simulation<double, W>& b) {
+  const auto& sa = a.state();
+  ASSERT_EQ(sa.numElements(), b.state().numElements());
+  for (idx_t el = 0; el < sa.numElements(); ++el) {
+    const double* qa = a.dofs(el);
+    const double* qb = b.dofs(el);
+    for (std::size_t i = 0; i < sa.elSize(); ++i)
+      ASSERT_EQ(qa[i], qb[i]) << "element " << el << " dof " << i;
+  }
+  ASSERT_EQ(a.numReceivers(), b.numReceivers());
+  for (idx_t r = 0; r < a.numReceivers(); ++r) {
+    const auto& ta = a.receiver(r).traces;
+    const auto& tb = b.receiver(r).traces;
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t lane = 0; lane < ta.size(); ++lane) {
+      ASSERT_EQ(ta[lane].times.size(), tb[lane].times.size()) << "lane " << lane;
+      for (std::size_t i = 0; i < ta[lane].times.size(); ++i) {
+        ASSERT_EQ(ta[lane].times[i], tb[lane].times[i]);
+        for (int_t v = 0; v < nglts::kElasticVars; ++v)
+          ASSERT_EQ(ta[lane].values[i][v], tb[lane].values[i][v]);
+      }
+    }
+  }
+}
+
+std::vector<char> readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void writeAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Simulation-level round trip: save mid-run, restore into a fresh solver,
+// finish — bitwise-identical to the uninterrupted run. LTS covers the
+// B1/B2/B3 arenas, the baseline scheme covers the derivative stack.
+// ---------------------------------------------------------------------------
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<nsol::TimeScheme> {};
+
+TEST_P(CheckpointRoundTrip, KillAndRestoreMidScheduleIsBitwiseIdentical) {
+  const Fixture fx(GetParam());
+  const std::string path = snapPath("roundtrip");
+  constexpr int W = 2;
+  const std::uint64_t total = 8, cut = 3;
+
+  auto uninterrupted = fx.makeSim<W>();
+  uninterrupted->runCycles(total);
+
+  {
+    auto first = fx.makeSim<W>();
+    first->runCycles(cut);
+    nbatch::saveSnapshot(path, /*fingerprint=*/42, /*runIndex=*/0, cut, first.get());
+  } // "kill": the first solver is destroyed here
+
+  auto resumed = fx.makeSim<W>();
+  const nbatch::SnapshotInfo info = nbatch::loadSnapshot(path, *resumed);
+  EXPECT_EQ(info.cyclesDone, cut);
+  EXPECT_EQ(info.batchFingerprint, 42u);
+  resumed->runCycles(total - cut);
+
+  expectSimsBitwiseEqual(*resumed, *uninterrupted);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CheckpointRoundTrip,
+                         ::testing::Values(nsol::TimeScheme::kGts,
+                                           nsol::TimeScheme::kLtsNextGen,
+                                           nsol::TimeScheme::kLtsBaseline),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case nsol::TimeScheme::kGts: return "Gts";
+                             case nsol::TimeScheme::kLtsNextGen: return "LtsNextGen";
+                             default: return "LtsBaseline";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// Batch-level kill/restore: abort after the first snapshot, resume with
+// --restore semantics, union of results bitwise-equals the uninterrupted
+// batch.
+// ---------------------------------------------------------------------------
+
+TEST(BatchCheckpoint, KilledBatchResumesBitwiseIdentical) {
+  nbatch::BatchConfig cfg = nbatch::quickstartBatchConfig();
+  cfg.endTime = 0.2;
+  cfg.pipeline.minEdge /= 0.4;
+  cfg.pipeline.maxEdge /= 0.4;
+  cfg.maxFusedWidth = 2;
+  const std::vector<nbatch::ScenarioRequest> reqs = {
+      {"a", 1.0, 1.0, {0.0, 0.0, 0.0}},
+      {"b", 1.5, 1.0, {10.0, 0.0, 0.0}},
+      {"c", 0.75, 1.1, {0.0, 0.0, 0.0}},
+  };
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+
+  // Reference: the uninterrupted batch.
+  std::vector<nbatch::RequestResult> want;
+  {
+    nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    engine.run([&](const nbatch::RequestResult& r) { want.push_back(r); });
+  }
+  ASSERT_EQ(want.size(), 3u);
+
+  // Interrupted: checkpoint every 2 cycles, simulated kill after the first
+  // snapshot (mid-run, before any result was streamed).
+  const std::string path = snapPath("batch");
+  nbatch::BatchConfig ckCfg = cfg;
+  ckCfg.checkpointEveryCycles = 2;
+  ckCfg.checkpointPath = path;
+  ckCfg.abortAfterCheckpoints = 1;
+  std::vector<nbatch::RequestResult> collected;
+  {
+    nbatch::BatchEngine engine(model, ckCfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    const nbatch::BatchStats stats =
+        engine.run([&](const nbatch::RequestResult& r) { collected.push_back(r); });
+    EXPECT_TRUE(stats.interrupted);
+    EXPECT_LT(stats.completedRequests, 3);
+  }
+
+  // Resume: same batch definition, restore on.
+  nbatch::BatchConfig reCfg = ckCfg;
+  reCfg.abortAfterCheckpoints = 0;
+  reCfg.restore = true;
+  {
+    nbatch::BatchEngine engine(model, reCfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    const nbatch::BatchStats stats =
+        engine.run([&](const nbatch::RequestResult& r) { collected.push_back(r); });
+    EXPECT_FALSE(stats.interrupted);
+  }
+
+  ASSERT_EQ(collected.size(), 3u);
+  for (const auto& got : collected) {
+    const auto it = std::find_if(want.begin(), want.end(), [&](const auto& w) {
+      return w.requestIndex == got.requestIndex;
+    });
+    ASSERT_NE(it, want.end());
+    EXPECT_EQ(got.id, it->id);
+    ASSERT_EQ(got.trace.times.size(), it->trace.times.size()) << got.id;
+    for (std::size_t i = 0; i < got.trace.times.size(); ++i) {
+      ASSERT_EQ(got.trace.times[i], it->trace.times[i]) << got.id;
+      for (int_t v = 0; v < nglts::kElasticVars; ++v)
+        ASSERT_EQ(got.trace.values[i][v], it->trace.values[i][v]) << got.id;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchCheckpoint, RestoreRejectsDifferentBatch) {
+  nbatch::BatchConfig cfg = nbatch::quickstartBatchConfig();
+  cfg.endTime = 0.2;
+  cfg.pipeline.minEdge /= 0.4;
+  cfg.pipeline.maxEdge /= 0.4;
+  const std::string path = snapPath("fingerprint");
+  cfg.checkpointEveryCycles = 2;
+  cfg.checkpointPath = path;
+  cfg.abortAfterCheckpoints = 1;
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  {
+    nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+    engine.add({{"a", 1.0, 1.0, {0.0, 0.0, 0.0}}});
+    engine.run(nullptr);
+  }
+  // A different request list is a different batch — restoring must fail.
+  nbatch::BatchConfig other = cfg;
+  other.abortAfterCheckpoints = 0;
+  other.restore = true;
+  nbatch::BatchEngine engine(model, other, nbatch::quickstartBatchModelKey());
+  engine.add({{"a", 2.0, 1.0, {0.0, 0.0, 0.0}}});
+  try {
+    engine.run(nullptr);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different batch"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Damaged snapshots fail loudly and distinctly
+// ---------------------------------------------------------------------------
+
+class SnapshotDamage : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = snapPath("damage");
+    fx_ = std::make_unique<Fixture>(nsol::TimeScheme::kLtsNextGen);
+    auto sim = fx_->makeSim<1>();
+    sim->runCycles(2);
+    nbatch::saveSnapshot(path_, 7, 0, 2, sim.get());
+    bytes_ = readAll(path_);
+    ASSERT_GT(bytes_.size(), 32u);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void expectLoadError(const std::string& needle) {
+    auto sim = fx_->makeSim<1>();
+    try {
+      nbatch::loadSnapshot(path_, *sim);
+      FAIL() << "expected std::runtime_error containing '" << needle << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  }
+
+  std::string path_;
+  std::unique_ptr<Fixture> fx_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(SnapshotDamage, IntactSnapshotLoads) {
+  auto sim = fx_->makeSim<1>();
+  const nbatch::SnapshotInfo info = nbatch::loadSnapshot(path_, *sim);
+  EXPECT_EQ(info.cyclesDone, 2u);
+  EXPECT_TRUE(info.hasState);
+  EXPECT_EQ(info.width, 1u);
+  EXPECT_EQ(info.realSize, sizeof(double));
+}
+
+TEST_F(SnapshotDamage, TruncatedSnapshotFails) {
+  bytes_.resize(bytes_.size() / 2);
+  writeAll(path_, bytes_);
+  expectLoadError("corrupted or truncated");
+  // Even a peek (header-only read) must notice.
+  EXPECT_THROW(nbatch::peekSnapshot(path_), std::runtime_error);
+}
+
+TEST_F(SnapshotDamage, BitFlipFailsChecksum) {
+  bytes_[bytes_.size() / 2] = static_cast<char>(bytes_[bytes_.size() / 2] ^ 0x40);
+  writeAll(path_, bytes_);
+  expectLoadError("corrupted or truncated");
+}
+
+TEST_F(SnapshotDamage, VersionMismatchIsDistinctFromCorruption) {
+  bytes_[8] = static_cast<char>(99); // version field (little-endian u32 at offset 8)
+  writeAll(path_, bytes_);
+  // Must mention the version, not fall through to the checksum error.
+  expectLoadError("version");
+}
+
+TEST_F(SnapshotDamage, BadMagicFails) {
+  bytes_[0] = 'X';
+  writeAll(path_, bytes_);
+  expectLoadError("not an nglts snapshot");
+}
+
+TEST_F(SnapshotDamage, WidthMismatchFails) {
+  auto sim2 = fx_->makeSim<2>();
+  try {
+    nbatch::loadSnapshot(path_, *sim2);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("W="), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(SnapshotDamage, MissingFileFails) {
+  EXPECT_THROW(nbatch::peekSnapshot("does_not_exist.snap"), std::runtime_error);
+}
+
+TEST_F(SnapshotDamage, RunBoundaryMarkerCarriesNoState) {
+  nbatch::saveSnapshot<double, 1>(path_, 7, 1, 0, nullptr);
+  const nbatch::SnapshotInfo info = nbatch::peekSnapshot(path_);
+  EXPECT_FALSE(info.hasState);
+  EXPECT_EQ(info.runIndex, 1u);
+  auto sim = fx_->makeSim<1>();
+  expectLoadError("carries no state");
+}

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "pre/pipeline.hpp"
+#include "pre/pipeline_cache.hpp"
 #include "solver/simulation.hpp"
 
 namespace npre = nglts::pre;
@@ -102,4 +109,124 @@ TEST(Pipeline, OutputRunsInSolver) {
   });
   const auto st = sim.run(2.0 * sim.cycleDt());
   EXPECT_GT(st.cycles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Memoization key (pre/pipeline_cache.hpp). The key is the batch engine's
+// cache identity AND the checkpoint fingerprint ingredient, so its value is
+// a golden contract: the rows below pin the exact FNV-1a digests. If one of
+// these changes, either the hash algorithm or the field order changed —
+// both invalidate persisted snapshots and must be deliberate (bump
+// batch::kSnapshotVersion and re-pin).
+// ---------------------------------------------------------------------------
+
+TEST(PipelineCacheKey, GoldenValuesArePinned) {
+  const npre::PipelineConfig def;
+  EXPECT_EQ(npre::pipelineCacheKey(def, 0), UINT64_C(10065731689030911341));
+  EXPECT_EQ(npre::pipelineCacheKey(def, UINT64_C(0x9e3779b97f4a7c15)),
+            UINT64_C(9573061450917015164));
+  EXPECT_EQ(npre::pipelineCacheKey(smallConfig(), 0), UINT64_C(16296243681523017858));
+  EXPECT_EQ(npre::hashDouble(1.0), UINT64_C(5355952580483250426));
+}
+
+TEST(PipelineCacheKey, EveryCacheRelevantFieldPerturbsTheKey) {
+  // One mutator per cache-relevant field. Each must produce a key different
+  // from the base AND from every other mutation (a field the hash silently
+  // ignores would poison the cache: two configs sharing one result).
+  using Mut = std::function<void(npre::PipelineConfig&)>;
+  const std::vector<std::pair<std::string, Mut>> mutations = {
+      {"lo[0]", [](auto& c) { c.lo[0] = 1.0; }},
+      {"lo[1]", [](auto& c) { c.lo[1] = 1.0; }},
+      {"lo[2]", [](auto& c) { c.lo[2] = 1.0; }},
+      {"hi[0]", [](auto& c) { c.hi[0] = 999.0; }},
+      {"hi[1]", [](auto& c) { c.hi[1] = 999.0; }},
+      {"hi[2]", [](auto& c) { c.hi[2] = 999.0; }},
+      {"elementsPerWavelength", [](auto& c) { c.elementsPerWavelength = 2.5; }},
+      {"maxFrequency", [](auto& c) { c.maxFrequency = 1.5; }},
+      {"minEdge", [](auto& c) { c.minEdge = 20.0; }},
+      {"maxEdge", [](auto& c) { c.maxEdge = 1e8; }},
+      {"jitter", [](auto& c) { c.jitter = 0.05; }},
+      {"order", [](auto& c) { c.order = 5; }},
+      {"mechanisms", [](auto& c) { c.mechanisms = 1; }},
+      {"cfl", [](auto& c) { c.cfl = 0.4; }},
+      {"numClusters", [](auto& c) { c.numClusters = 4; }},
+      {"autoLambda", [](auto& c) { c.autoLambda = false; }},
+      {"lambda (sweep off)",
+       [](auto& c) {
+         c.autoLambda = false;
+         c.lambda = 0.8;
+       }},
+      {"numPartitions", [](auto& c) { c.numPartitions = 2; }},
+      {"freeSurfaceTop", [](auto& c) { c.freeSurfaceTop = false; }},
+  };
+
+  const npre::PipelineConfig base;
+  const std::uint64_t baseKey = npre::pipelineCacheKey(base, 0);
+  std::map<std::uint64_t, std::string> seen{{baseKey, "base"}};
+  for (const auto& [name, mutate] : mutations) {
+    npre::PipelineConfig cfg = base;
+    mutate(cfg);
+    const std::uint64_t key = npre::pipelineCacheKey(cfg, 0);
+    EXPECT_NE(key, baseKey) << "field ignored by the cache key: " << name;
+    const auto [it, inserted] = seen.emplace(key, name);
+    EXPECT_TRUE(inserted) << name << " collides with " << it->second;
+  }
+  // The velocity-model key is cache-relevant too.
+  const std::uint64_t modelPerturbed = npre::pipelineCacheKey(base, 7);
+  EXPECT_NE(modelPerturbed, baseKey) << "modelKey ignored by the cache key";
+  EXPECT_TRUE(seen.emplace(modelPerturbed, "modelKey").second);
+}
+
+TEST(PipelineCacheKey, LambdaIsFoldedOutWhileTheSweepIsOn) {
+  // With autoLambda on, the fixed lambda is ignored by the pipeline — two
+  // configs differing only there must share a cache slot.
+  npre::PipelineConfig a, b;
+  a.autoLambda = b.autoLambda = true;
+  a.lambda = 0.7;
+  b.lambda = 0.9;
+  EXPECT_EQ(npre::pipelineCacheKey(a, 0), npre::pipelineCacheKey(b, 0));
+}
+
+TEST(PipelineCacheKey, ReceiversAreExcludedByDesign) {
+  // Receivers are bound after preprocessing; a receiver-only delta must be
+  // a cache hit (the batch engine relies on this to share one pipeline
+  // across an ensemble with per-request receiver offsets).
+  npre::PipelineConfig a = smallConfig();
+  npre::PipelineConfig b = smallConfig();
+  b.receivers.push_back({1500.0, 1500.0, -100.0});
+  b.receivers.push_back({800.0, 750.0, -20.0});
+  EXPECT_EQ(npre::pipelineCacheKey(a, 0), npre::pipelineCacheKey(b, 0));
+}
+
+TEST(PipelineCacheKey, NegativeZeroFoldsToPositiveZero) {
+  npre::PipelineConfig a = smallConfig();
+  npre::PipelineConfig b = smallConfig();
+  a.hi[2] = 0.0;
+  b.hi[2] = -0.0;
+  EXPECT_EQ(npre::pipelineCacheKey(a, 0), npre::pipelineCacheKey(b, 0));
+}
+
+TEST(PipelineCache, ReceiverOnlyDeltaHitsRelevantDeltaMisses) {
+  const nsei::Loh3Model model(0.0);
+  npre::PipelineCache cache;
+
+  const auto first = cache.get(model, smallConfig());
+  EXPECT_EQ(cache.builds(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // Receiver-only change: served from the cache, same shared artifact.
+  npre::PipelineConfig recOnly = smallConfig();
+  recOnly.receivers.push_back({1500.0, 1500.0, -100.0});
+  const auto second = cache.get(model, recOnly);
+  EXPECT_EQ(cache.builds(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(second.get(), first.get());
+
+  // Cache-relevant change: rebuilt.
+  npre::PipelineConfig finer = smallConfig();
+  finer.minEdge = 150.0;
+  const auto third = cache.get(model, finer);
+  EXPECT_EQ(cache.builds(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_NE(third.get(), first.get());
 }
