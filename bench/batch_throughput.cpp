@@ -44,6 +44,7 @@ batch::BatchConfig makeConfig(double scale, int_t maxWidth) {
   cfg.pipeline.minEdge /= scale;
   cfg.pipeline.maxEdge /= scale;
   cfg.sim.kernelBackend = bench::benchKernelBackend();
+  cfg.sim.precision = bench::benchPrecision();
   return cfg;
 }
 
@@ -108,6 +109,7 @@ int main() {
   bench::JsonReport report;
   report.set("bench", "batch_throughput");
   report.set("kernel", bench::benchKernelLabel());
+  report.set("precision", solver::precisionName(bench::benchPrecision()));
   report.set("scale", scale);
   report.set("requests", static_cast<double>(requests));
 

@@ -12,6 +12,7 @@
 
 #include "linalg/kernel_backend.hpp"
 #include "mesh/box_gen.hpp"
+#include "solver/config.hpp"
 #include "mesh/geometry.hpp"
 #include "physics/attenuation.hpp"
 #include "seismo/velocity_model.hpp"
@@ -47,6 +48,23 @@ inline linalg::KernelBackend benchKernelBackend() {
 /// "vector(avx2)".
 inline std::string benchKernelLabel() {
   return linalg::resolvedKernelBackendLabel(benchKernelBackend());
+}
+
+/// Arithmetic precision the solver benches pin (`SimConfig::precision`):
+/// the `NGLTS_PRECISION` environment variable — f64 | f32, plumbed through
+/// `PRECISION=` in bench/run_benches.sh — default f64. Record
+/// `precisionName(benchPrecision())` in the JSON artifact ("precision"
+/// key) so every BENCH row names the precision that produced it. A bad
+/// value exits with a clear message instead of aborting mid-run.
+inline solver::Precision benchPrecision() {
+  const char* s = std::getenv("NGLTS_PRECISION");
+  if (!s) return solver::Precision::kF64;
+  try {
+    return solver::parsePrecision(s);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "NGLTS_PRECISION: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 /// Machine-readable bench artifact (BENCH_*.json): a flat object of run

@@ -5,13 +5,21 @@
 // removes the zero operations of the dense path — the paper reports 59.8%
 // zeros at O = 5 with three mechanisms.
 //
-// Every benchmark takes a trailing `vector` argument (0 = scalar reference
-// backend, 1 = explicit-SIMD vector backend; docs/KERNELS.md), so
-// BENCH_kernel.json carries per-backend A/B rows both for the raw
+// Every benchmark takes a trailing `backend` argument (0 = scalar reference
+// backend, 1 = explicit-SIMD vector backend, 2 = specialized = vector plus
+// compile-time-sparsity kernels for registered patterns; docs/KERNELS.md),
+// so BENCH_kernel.json carries per-backend A/B rows both for the raw
 // dispatched small-GEMM kernels (smallGemm* below, including the fused
 // W = 4 shapes the backend acceptance gate compares) and for the full ADER
-// updates. Both backends produce bitwise-identical results — these rows
-// measure throughput only.
+// updates. Backend 2 rows only exist for (order, W) combinations whose CSR
+// pattern is in the committed table (orders 3/4, W > 1) — the acceptance
+// gate is specialized >= vector on those CSR star/right rows. All backends
+// produce bitwise-identical results — these rows measure throughput only.
+//
+// The JSON context records the resolved ISA ("kernel_isa") and precision
+// ("precision": kernel_micro measures the f32 kernels, the precision the
+// fused production runs use; f64 solver rows come from the scenario
+// benches via NGLTS_PRECISION) so every row is attributable.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -19,19 +27,26 @@
 #include <string>
 #include <vector>
 
+#include "basis/global_matrices.hpp"
 #include "kernels/ader_kernels.hpp"
 #include "kernels/kernel_setup.hpp"
 #include "linalg/small_gemm_dispatch.hpp"
+#include "linalg/small_gemm_specialized.hpp"
 #include "mesh/box_gen.hpp"
 #include "mesh/geometry.hpp"
 #include "physics/attenuation.hpp"
+#include "physics/jacobians.hpp"
 
 using namespace nglts;
 
 namespace {
 
 linalg::KernelBackend backendArg(const benchmark::State& state, int idx) {
-  return state.range(idx) ? linalg::KernelBackend::kVector : linalg::KernelBackend::kScalar;
+  switch (state.range(idx)) {
+    case 2: return linalg::KernelBackend::kSpecialized;
+    case 1: return linalg::KernelBackend::kVector;
+    default: return linalg::KernelBackend::kScalar;
+  }
 }
 
 struct Fixture {
@@ -137,21 +152,43 @@ linalg::Matrix starMatrix(const kernels::ElementData<Real>& ed) {
   return m;
 }
 
-aligned_vector<float> randomOperand(std::size_t n, unsigned seed) {
+/// The elastic star-operator *family* pattern (union of the three direction
+/// Jacobians — the pattern registered in the specialized table) with
+/// pattern-preserving random values, so scalar/vector/specialized CSR star
+/// rows all measure the identical operator.
+linalg::Matrix starUnionMatrix() {
+  const physics::Material mat = physics::elasticMaterial(2700.0, 6000.0, 3464.0);
+  linalg::Matrix u(9, 9);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> uni(0.1, 2.0);
+  for (int_t d = 0; d < 3; ++d) {
+    const linalg::Matrix j = physics::elasticJacobian(mat, d);
+    for (int_t r = 0; r < 9; ++r)
+      for (int_t c = 0; c < 9; ++c)
+        if (j(r, c) != 0.0 && u(r, c) == 0.0) u(r, c) = uni(rng);
+  }
+  return u;
+}
+
+template <typename Real>
+aligned_vector<Real> randomOperand(std::size_t n, unsigned seed) {
   std::mt19937 rng(seed);
-  std::uniform_real_distribution<float> uni(-1, 1);
-  aligned_vector<float> v(n);
+  std::uniform_real_distribution<Real> uni(-1, 1);
+  aligned_vector<Real> v(n);
   for (auto& x : v) x = uni(rng);
   return v;
 }
 
-template <int W>
+// The raw smallGemm* benches are Real-templated: the <float, W> vs
+// <double, W> registrations at matching W are the fp32-vs-f64 throughput
+// A/B (per-row precision is the template type in the benchmark name).
+template <typename Real, int W>
 void smallGemmStarDense(benchmark::State& state) {
   const int_t nb = numBasis3d(state.range(0));
-  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
-  const linalg::SmallOp<float> star(starMatrix(fixture(3).ed[0]));
-  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 21);
-  aligned_vector<float> o(d.size(), 0.0f);
+  const auto& ops = linalg::smallGemmOps<Real, W>(backendArg(state, 1));
+  const linalg::SmallOp<Real> star(starMatrix(fixture(3).ed[0]));
+  const auto d = randomOperand<Real>(static_cast<std::size_t>(9) * nb * W, 21);
+  aligned_vector<Real> o(d.size(), Real(0));
   std::uint64_t flops = 0;
   for (auto _ : state) {
     flops += ops.starDense(9, 9, nb, nb, star.dense.data(), d.data(), o.data());
@@ -161,31 +198,40 @@ void smallGemmStarDense(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
 }
 
-template <int W>
+template <typename Real, int W>
 void smallGemmStarCsr(benchmark::State& state) {
   const int_t nb = numBasis3d(state.range(0));
-  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
-  const linalg::SmallOp<float> star(starMatrix(fixture(3).ed[0]));
-  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 22);
-  aligned_vector<float> o(d.size(), 0.0f);
+  const auto& ops = linalg::smallGemmOps<Real, W>(backendArg(state, 1));
+  const linalg::SmallOp<Real> star(starUnionMatrix());
+  linalg::SpecializedStarCsrFn<Real> spec = nullptr;
+  if (state.range(1) == 2) {
+    spec = linalg::findSpecializedStarCsr<Real, W>(star.csr);
+    if (!spec) {
+      state.SkipWithError("star pattern not registered for this W");
+      return;
+    }
+  }
+  const auto d = randomOperand<Real>(static_cast<std::size_t>(9) * nb * W, 22);
+  aligned_vector<Real> o(d.size(), Real(0));
   std::uint64_t flops = 0;
   for (auto _ : state) {
-    flops += ops.starCsr(star.csr, nb, nb, d.data(), o.data());
+    flops += spec ? spec(star.csr, nb, nb, d.data(), o.data())
+                  : ops.starCsr(star.csr, nb, nb, d.data(), o.data());
     benchmark::DoNotOptimize(o.data());
   }
   state.counters["GFLOPS"] =
       benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
 }
 
-template <int W>
+template <typename Real, int W>
 void smallGemmRightDense(benchmark::State& state) {
   const int_t order = state.range(0);
   const int_t nb = numBasis3d(order);
-  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const auto& ops = linalg::smallGemmOps<Real, W>(backendArg(state, 1));
   const auto gm = basis::buildGlobalMatrices(order);
-  const linalg::SmallOp<float> stiff(gm->kXi[0]);
-  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 23);
-  aligned_vector<float> o(d.size(), 0.0f);
+  const linalg::SmallOp<Real> stiff(gm->kXi[0]);
+  const auto d = randomOperand<Real>(static_cast<std::size_t>(9) * nb * W, 23);
+  aligned_vector<Real> o(d.size(), Real(0));
   std::uint64_t flops = 0;
   for (auto _ : state) {
     flops += ops.rightDense(9, nb, nb, stiff.cols, d.data(), stiff.dense.data(), o.data(), nb,
@@ -196,18 +242,27 @@ void smallGemmRightDense(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(flops) * 1e-9, benchmark::Counter::kIsRate);
 }
 
-template <int W>
+template <typename Real, int W>
 void smallGemmRightCsr(benchmark::State& state) {
   const int_t order = state.range(0);
   const int_t nb = numBasis3d(order);
-  const auto& ops = linalg::smallGemmOps<float, W>(backendArg(state, 1));
+  const auto& ops = linalg::smallGemmOps<Real, W>(backendArg(state, 1));
   const auto gm = basis::buildGlobalMatrices(order);
-  const linalg::SmallOp<float> stiff(gm->kXi[0]);
-  const auto d = randomOperand(static_cast<std::size_t>(9) * nb * W, 24);
-  aligned_vector<float> o(d.size(), 0.0f);
+  const linalg::SmallOp<Real> stiff(gm->kXi[0]);
+  linalg::SpecializedRightCsrFn<Real> spec = nullptr;
+  if (state.range(1) == 2) {
+    spec = linalg::findSpecializedRightCsr<Real, W>(stiff.csr);
+    if (!spec) {
+      state.SkipWithError("stiffness pattern not registered for this order/W");
+      return;
+    }
+  }
+  const auto d = randomOperand<Real>(static_cast<std::size_t>(9) * nb * W, 24);
+  aligned_vector<Real> o(d.size(), Real(0));
   std::uint64_t flops = 0;
   for (auto _ : state) {
-    flops += ops.rightCsr(9, nb, stiff.csr, d.data(), o.data(), nb, nb);
+    flops += spec ? spec(9, nb, stiff.csr, d.data(), o.data(), nb, nb)
+                  : ops.rightCsr(9, nb, stiff.csr, d.data(), o.data(), nb, nb);
     benchmark::DoNotOptimize(o.data());
   }
   state.counters["GFLOPS"] =
@@ -218,53 +273,78 @@ void smallGemmRightCsr(benchmark::State& state) {
 
 BENCHMARK(localUpdate<1>)
     ->ArgsProduct({{3, 4, 5}, {0, 1}, {0, 3}, {0, 1}})
-    ->ArgNames({"order", "sparse", "mechs", "vector"});
+    ->ArgNames({"order", "sparse", "mechs", "backend"});
 BENCHMARK(localUpdate<16>)
     ->ArgsProduct({{3, 4, 5}, {1}, {3}, {0, 1}})
-    ->ArgNames({"order", "sparse", "mechs", "vector"});
+    ->ArgNames({"order", "sparse", "mechs", "backend"});
+// Specialized ADER rows only where the stiffness patterns are registered
+// (orders 3/4; order 5 would silently measure the per-operator fallback).
+BENCHMARK(localUpdate<16>)
+    ->ArgsProduct({{3, 4}, {1}, {3}, {2}})
+    ->ArgNames({"order", "sparse", "mechs", "backend"});
 BENCHMARK(neighborUpdate<1>)
     ->ArgsProduct({{3, 4, 5}, {0, 1}, {0, 1}})
-    ->ArgNames({"order", "sparse", "vector"});
+    ->ArgNames({"order", "sparse", "backend"});
 BENCHMARK(neighborUpdate<16>)
-    ->ArgsProduct({{4}, {1}, {0, 1}})
-    ->ArgNames({"order", "sparse", "vector"});
-BENCHMARK(compress)->ArgsProduct({{4, 5}, {0, 1}})->ArgNames({"order", "vector"});
+    ->ArgsProduct({{4}, {1}, {0, 1, 2}})
+    ->ArgNames({"order", "sparse", "backend"});
+BENCHMARK(compress)->ArgsProduct({{4, 5}, {0, 1}})->ArgNames({"order", "backend"});
 
-// Raw small-GEMM backend A/B rows (scalar vs vector per shape; the W = 4
-// dense + CSR rows are the acceptance gate for the vector backend).
-BENCHMARK_TEMPLATE(smallGemmStarDense, 1)
+// Raw small-GEMM backend A/B rows (scalar vs vector vs specialized per
+// shape; the W = 4 dense + CSR rows are the acceptance gate for the vector
+// backend, the backend = 2 CSR rows gate specialized >= vector, and the
+// <double, 4> vs <float, 4> pairs are the fp32-vs-f64 throughput A/B).
+BENCHMARK_TEMPLATE(smallGemmStarDense, float, 1)
     ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmStarDense, 4)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarDense, float, 4)
     ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmStarDense, 16)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarDense, float, 16)
     ->ArgsProduct({{4}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmStarCsr, 1)
-    ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmStarCsr, 4)
-    ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmStarCsr, 16)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarDense, double, 4)
     ->ArgsProduct({{4}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmRightDense, 1)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, float, 1)
     ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmRightDense, 4)
+    ->ArgNames({"order", "backend"});
+// The star pattern (elastic 9 x 9 union) is order-independent, so the
+// specialized arm exists for every benched order at W > 1.
+BENCHMARK_TEMPLATE(smallGemmStarCsr, float, 4)
+    ->ArgsProduct({{4, 5}, {0, 1, 2}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, float, 16)
+    ->ArgsProduct({{4}, {0, 1, 2}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmStarCsr, double, 4)
+    ->ArgsProduct({{4}, {0, 1, 2}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightDense, float, 1)
     ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmRightCsr, 1)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightDense, float, 4)
     ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmRightCsr, 4)
-    ->ArgsProduct({{4, 5}, {0, 1}})
-    ->ArgNames({"order", "vector"});
-BENCHMARK_TEMPLATE(smallGemmRightCsr, 16)
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightDense, double, 4)
     ->ArgsProduct({{4}, {0, 1}})
-    ->ArgNames({"order", "vector"});
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, float, 1)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, float, 4)
+    ->ArgsProduct({{4, 5}, {0, 1}})
+    ->ArgNames({"order", "backend"});
+// Stiffness patterns are registered for orders 3/4 only.
+BENCHMARK_TEMPLATE(smallGemmRightCsr, float, 4)
+    ->ArgsProduct({{3, 4}, {2}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, float, 16)
+    ->ArgsProduct({{4}, {0, 1, 2}})
+    ->ArgNames({"order", "backend"});
+BENCHMARK_TEMPLATE(smallGemmRightCsr, double, 4)
+    ->ArgsProduct({{4}, {0, 1, 2}})
+    ->ArgNames({"order", "backend"});
 
 // BENCHMARK_MAIN with a default JSON artifact: unless the caller passes its
 // own --benchmark_out, results also land in BENCH_kernel.json (the
@@ -286,6 +366,13 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  // Attribution context: the ISA the vector/specialized kernels resolve to
+  // on this host (per-row precision is the <float|double, W> template type
+  // in each benchmark name).
+  benchmark::AddCustomContext("kernel_isa", linalg::detectCpuSimd().isa);
+  benchmark::AddCustomContext(
+      "kernel_backend_vector",
+      linalg::resolvedKernelBackendLabel(linalg::KernelBackend::kAuto));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!hasOut) std::printf("wrote BENCH_kernel.json\n");

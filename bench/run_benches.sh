@@ -10,17 +10,27 @@
 #   NGLTS_BENCH_SCALE   mesh/time scale multiplier (default 1.0); >= 1 for
 #                       meaningful numbers, < 1 for smoke runs.
 #   KERNEL              small-GEMM backend the solver benches pin
-#                       (auto | scalar | vector; default auto). Exported as
-#                       NGLTS_KERNEL to the bench binaries, which record
-#                       the resolved backend in their BENCH_*.json
-#                       ("kernel_backend" key) so rows are attributable.
-#                       kernel_micro always measures *both* backends (its
-#                       per-row `vector` argument) regardless of KERNEL.
+#                       (auto | scalar | vector | specialized; default
+#                       auto). Exported as NGLTS_KERNEL to the bench
+#                       binaries, which record the resolved backend in
+#                       their BENCH_*.json ("kernel_backend" key) so rows
+#                       are attributable. kernel_micro always measures
+#                       *every* backend (its per-row `backend` argument)
+#                       regardless of KERNEL.
+#   PRECISION           arithmetic precision the precision-dispatching
+#                       solver benches pin (f64 | f32; default f64).
+#                       Exported as NGLTS_PRECISION; recorded as the
+#                       "precision" key in BENCH_*.json. tab1_performance
+#                       reproduces the paper's single-precision Tab. I and
+#                       is always f32; kernel_micro always measures both
+#                       precisions (the <float|double, W> template type in
+#                       each row name) regardless of PRECISION.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-bench-out}
 export NGLTS_KERNEL=${KERNEL:-${NGLTS_KERNEL:-auto}}
+export NGLTS_PRECISION=${PRECISION:-${NGLTS_PRECISION:-f64}}
 
 if [[ ! -x "$BUILD_DIR/tab1_performance" ]]; then
   echo "run_benches.sh: $BUILD_DIR/tab1_performance not found — build with -DNGLTS_BUILD_BENCHES=ON" >&2

@@ -110,6 +110,10 @@ int main() {
   bench::JsonReport json;
   json.set("bench", "tab1_performance");
   json.set("kernel_backend", bench::benchKernelLabel());
+  // Tab. I is the paper's *single-precision* production table; the runs
+  // here are Simulation<float, W> by construction (NGLTS_PRECISION does
+  // not apply — see bench/run_benches.sh).
+  json.set("precision", "f32");
   json.set("scale", scale);
   json.set("t_end", tEnd);
   double gtsCost1 = 0.0;

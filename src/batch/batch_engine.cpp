@@ -129,6 +129,11 @@ std::uint64_t BatchEngine::fingerprint() const {
   h.boolean(cfg_.sim.autoLambda);
   h.f64(cfg_.sim.attenuationFreq);
   h.f64(cfg_.sim.receiverSampleDt);
+  // Precision changes every result bit, so it belongs in the fingerprint —
+  // but it is hashed only when it differs from f64, keeping every
+  // fingerprint written by the f64-only era (snapshot v1) valid.
+  if (cfg_.sim.precision != solver::Precision::kF64)
+    h.i32(static_cast<int_t>(cfg_.sim.precision));
   PlannedRun probe;
   h.u64(pre::pipelineCacheKey(groupPipelineConfig(probe), modelKey_));
   h.f64(cfg_.endTime);
@@ -149,7 +154,7 @@ std::uint64_t BatchEngine::fingerprint() const {
   return h.digest();
 }
 
-template <int W>
+template <typename Real, int W>
 bool BatchEngine::runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool loadState,
                              const ResultCallback& onResult, BatchStats& stats,
                              int_t& snapshotsWritten) {
@@ -169,7 +174,7 @@ bool BatchEngine::runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool lo
   runCfg.lambda = pipe->clustering.lambda;
   runCfg.autoLambda = false;
 
-  solver::Simulation<double, W> sim(pipe->mesh, pipe->materials, runCfg);
+  solver::Simulation<Real, W> sim(pipe->mesh, pipe->materials, runCfg);
 
   std::vector<double> laneScale(W);
   for (int lane = 0; lane < W; ++lane)
@@ -241,8 +246,8 @@ bool BatchEngine::runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool lo
   // A run-boundary marker lets a kill between runs resume at the next run
   // without replaying this one (its results were already streamed).
   if (cfg_.checkpointEveryCycles > 0) {
-    saveSnapshot<double, W>(cfg_.checkpointPath, fingerprint(),
-                            static_cast<std::uint64_t>(runIndex) + 1, 0, nullptr);
+    saveSnapshot<Real, W>(cfg_.checkpointPath, fingerprint(),
+                          static_cast<std::uint64_t>(runIndex) + 1, 0, nullptr);
     ++snapshotsWritten;
     if (cfg_.abortAfterCheckpoints > 0 && snapshotsWritten >= cfg_.abortAfterCheckpoints) {
       stats.interrupted = true;
@@ -265,6 +270,16 @@ BatchStats BatchEngine::run(const ResultCallback& onResult) {
   bool loadState = false;
   if (cfg_.restore) {
     const SnapshotInfo info = peekSnapshot(cfg_.checkpointPath);
+    // Checked before the fingerprint: a precision flip also changes the
+    // fingerprint (when f32 is involved), but "--precision differs" is the
+    // actionable diagnosis, not "different batch".
+    if (info.precision != cfg_.sim.precision)
+      throw std::runtime_error(
+          "snapshot '" + cfg_.checkpointPath + "' was saved at precision " +
+          std::string(solver::precisionName(info.precision)) + " but this batch uses " +
+          std::string(solver::precisionName(cfg_.sim.precision)) + "; re-run with --precision " +
+          std::string(solver::precisionName(info.precision)) +
+          " or start fresh without --restore");
     if (info.batchFingerprint != fingerprint())
       throw std::runtime_error("snapshot '" + cfg_.checkpointPath +
                                "' belongs to a different batch (fingerprint mismatch)");
@@ -281,10 +296,20 @@ BatchStats BatchEngine::run(const ResultCallback& onResult) {
     const bool resume = loadState && r == startRun;
     const std::uint64_t cycles = resume ? resumeCycles : 0;
     bool cont = false;
+    const bool f32 = cfg_.sim.precision == solver::Precision::kF32;
     switch (plan_[static_cast<std::size_t>(r)].width) {
-      case 4: cont = runPlanned<4>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
-      case 2: cont = runPlanned<2>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
-      default: cont = runPlanned<1>(r, cycles, resume, onResult, stats, snapshotsWritten); break;
+      case 4:
+        cont = f32 ? runPlanned<float, 4>(r, cycles, resume, onResult, stats, snapshotsWritten)
+                   : runPlanned<double, 4>(r, cycles, resume, onResult, stats, snapshotsWritten);
+        break;
+      case 2:
+        cont = f32 ? runPlanned<float, 2>(r, cycles, resume, onResult, stats, snapshotsWritten)
+                   : runPlanned<double, 2>(r, cycles, resume, onResult, stats, snapshotsWritten);
+        break;
+      default:
+        cont = f32 ? runPlanned<float, 1>(r, cycles, resume, onResult, stats, snapshotsWritten)
+                   : runPlanned<double, 1>(r, cycles, resume, onResult, stats, snapshotsWritten);
+        break;
     }
     if (!cont) break;
   }

@@ -160,7 +160,9 @@ class BatchEngine {
   const pre::PipelineCache& cache() const { return cache_; }
 
  private:
-  template <int W>
+  /// One fused run at the batch's precision (`cfg_.sim.precision`) — `run()`
+  /// dispatches Real in {double, float} x W in {1, 2, 4}.
+  template <typename Real, int W>
   bool runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool loadState,
                   const ResultCallback& onResult, BatchStats& stats, int_t& snapshotsWritten);
 

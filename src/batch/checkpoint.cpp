@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <type_traits>
 #include <vector>
 
 namespace nglts::batch {
@@ -10,8 +11,24 @@ namespace nglts::batch {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'G', 'L', 'T', 'S', 'N', 'A', 'P'};
-// Header bytes before the optional state block: magic + 4 u32 + 3 u64.
-constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 3 * 8;
+// Header bytes before the optional state block. v1: magic + 4 u32 + 3 u64;
+// v2 inserted the u32 precision tag after hasState.
+constexpr std::size_t kHeaderBytesV1 = 8 + 4 * 4 + 3 * 8;
+constexpr std::size_t headerBytes(std::uint32_t version) {
+  return version >= 2 ? kHeaderBytesV1 + 4 : kHeaderBytesV1;
+}
+
+// On-disk precision tags (v2+ headers). Kept as explicit constants rather
+// than casts of `solver::Precision` so a reordering of that enum can never
+// silently change the file format.
+constexpr std::uint32_t kPrecTagF64 = 0;
+constexpr std::uint32_t kPrecTagF32 = 1;
+
+template <typename Real>
+constexpr std::uint32_t precisionTagOf() {
+  static_assert(std::is_same_v<Real, double> || std::is_same_v<Real, float>);
+  return std::is_same_v<Real, float> ? kPrecTagF32 : kPrecTagF64;
+}
 
 std::uint64_t fnv1a(const unsigned char* p, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
@@ -102,7 +119,7 @@ std::vector<unsigned char> readFile(const std::string& path) {
 /// message, not a checksum one, so version is checked first.
 SnapshotInfo validateAndParseHeader(const std::vector<unsigned char>& buf,
                                     const std::string& path) {
-  if (buf.size() < kHeaderBytes + 8)
+  if (buf.size() < kHeaderBytesV1 + 8)
     throw std::runtime_error("snapshot '" + path + "' is truncated");
   if (std::memcmp(buf.data(), kMagic, 8) != 0)
     throw std::runtime_error("'" + path + "' is not an nglts snapshot (bad magic)");
@@ -110,9 +127,10 @@ SnapshotInfo validateAndParseHeader(const std::vector<unsigned char>& buf,
   char magic[8];
   r.bytes(magic, 8);
   const std::uint32_t version = r.u32();
-  if (version != kSnapshotVersion)
+  if (version < 1 || version > kSnapshotVersion)
     throw std::runtime_error("snapshot '" + path + "' has version " + std::to_string(version) +
-                             ", this build reads version " + std::to_string(kSnapshotVersion));
+                             ", this build reads versions 1.." +
+                             std::to_string(kSnapshotVersion));
   const std::uint64_t expect = fnv1a(buf.data(), buf.size() - 8);
   std::uint64_t trailer = 0;
   for (int i = 0; i < 8; ++i)
@@ -120,9 +138,19 @@ SnapshotInfo validateAndParseHeader(const std::vector<unsigned char>& buf,
   if (trailer != expect)
     throw std::runtime_error("snapshot '" + path + "' is corrupted or truncated (checksum mismatch)");
   SnapshotInfo info;
+  info.version = version;
   info.realSize = r.u32();
   info.width = r.u32();
   info.hasState = r.u32() != 0;
+  // v1 predates fp32 support: every v1 snapshot was written at f64.
+  info.precision = solver::Precision::kF64;
+  if (version >= 2) {
+    const std::uint32_t tag = r.u32();
+    if (tag != kPrecTagF64 && tag != kPrecTagF32)
+      throw std::runtime_error("snapshot '" + path + "' has unknown precision tag " +
+                               std::to_string(tag));
+    info.precision = tag == kPrecTagF32 ? solver::Precision::kF32 : solver::Precision::kF64;
+  }
   info.batchFingerprint = r.u64();
   info.runIndex = r.u64();
   info.cyclesDone = r.u64();
@@ -157,6 +185,9 @@ void saveSnapshot(const std::string& path, std::uint64_t batchFingerprint, std::
   w.u32(sim ? static_cast<std::uint32_t>(sizeof(Real)) : 0);
   w.u32(sim ? static_cast<std::uint32_t>(W) : 0);
   w.u32(sim ? 1 : 0);
+  // Run-boundary markers carry the batch's precision too: restore rejects a
+  // precision flip before it ever rebuilds a simulation.
+  w.u32(precisionTagOf<Real>());
   w.u64(batchFingerprint);
   w.u64(runIndex);
   w.u64(cyclesDone);
@@ -209,6 +240,17 @@ SnapshotInfo loadSnapshot(const std::string& path, solver::Simulation<Real, W>& 
   const SnapshotInfo info = validateAndParseHeader(buf, path);
   if (!info.hasState)
     throw std::runtime_error("snapshot '" + path + "' is a run-boundary marker, carries no state");
+  // Precision is checked before the raw sizeof(Real)/W geometry so a user
+  // who flipped --precision between save and restore gets told exactly that
+  // (realSize would also mismatch, but with a far less actionable message).
+  const auto want = std::is_same_v<Real, float> ? solver::Precision::kF32
+                                                : solver::Precision::kF64;
+  if (info.precision != want)
+    throw std::runtime_error(
+        "snapshot '" + path + "' was saved at precision " +
+        std::string(solver::precisionName(info.precision)) + " but this run uses " +
+        std::string(solver::precisionName(want)) + "; re-run with --precision " +
+        std::string(solver::precisionName(info.precision)) + " or start fresh without --restore");
   if (info.realSize != sizeof(Real) || info.width != static_cast<std::uint32_t>(W))
     throw std::runtime_error("snapshot '" + path + "' was saved with sizeof(Real)=" +
                              std::to_string(info.realSize) + ", W=" + std::to_string(info.width) +
@@ -216,8 +258,8 @@ SnapshotInfo loadSnapshot(const std::string& path, solver::Simulation<Real, W>& 
                              std::to_string(sizeof(Real)) + ", W=" + std::to_string(W));
 
   Reader r(buf, path);
-  char skip[kHeaderBytes];
-  r.bytes(skip, kHeaderBytes);
+  std::vector<char> skip(headerBytes(info.version));
+  r.bytes(skip.data(), skip.size());
 
   auto& st = sim.stateMut();
   const bool useStack = sim.config().scheme == solver::TimeScheme::kLtsBaseline;
@@ -267,6 +309,15 @@ SnapshotInfo loadSnapshot(const std::string& path, solver::Simulation<Real, W>& 
   return info;
 }
 
+template void saveSnapshot<float, 1>(const std::string&, std::uint64_t, std::uint64_t,
+                                     std::uint64_t, const solver::Simulation<float, 1>*);
+template void saveSnapshot<float, 2>(const std::string&, std::uint64_t, std::uint64_t,
+                                     std::uint64_t, const solver::Simulation<float, 2>*);
+template void saveSnapshot<float, 4>(const std::string&, std::uint64_t, std::uint64_t,
+                                     std::uint64_t, const solver::Simulation<float, 4>*);
+template SnapshotInfo loadSnapshot<float, 1>(const std::string&, solver::Simulation<float, 1>&);
+template SnapshotInfo loadSnapshot<float, 2>(const std::string&, solver::Simulation<float, 2>&);
+template SnapshotInfo loadSnapshot<float, 4>(const std::string&, solver::Simulation<float, 4>&);
 template void saveSnapshot<double, 1>(const std::string&, std::uint64_t, std::uint64_t,
                                       std::uint64_t, const solver::Simulation<double, 1>*);
 template void saveSnapshot<double, 2>(const std::string&, std::uint64_t, std::uint64_t,

@@ -12,8 +12,12 @@
 //
 // Format (all integers little-endian, reals by IEEE-754 bit pattern):
 //   magic "NGLTSNAP" | u32 version | u32 realSize | u32 width |
-//   u32 hasState | u64 batchFingerprint | u64 runIndex | u64 cyclesDone |
+//   u32 hasState | u32 precision (v2+: 0 = f64, 1 = f32) |
+//   u64 batchFingerprint | u64 runIndex | u64 cyclesDone |
 //   [state block when hasState != 0] | u64 FNV-1a checksum of all prior bytes
+// Version history: v1 had no precision field (every v1 snapshot was written
+// by an f64-only build) — this build still reads v1, inferring f64; it
+// always writes v2.
 //
 // The state block holds the arena geometry (numElements, elSize, bufSize,
 // stackSize, buffer-presence flags), the cluster step counters, the raw
@@ -36,11 +40,13 @@
 
 namespace nglts::batch {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Newest snapshot format this build writes; versions 1..kSnapshotVersion
+/// are readable (v1 files are inferred to be f64, see the header comment).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Header of a snapshot file; `peekSnapshot` reads it without touching the
 /// (much larger) state block, so the batch driver can pick the fused width
-/// to rebuild before loading arenas.
+/// (and reject a precision mismatch early) before loading arenas.
 struct SnapshotInfo {
   std::uint64_t batchFingerprint = 0;
   std::uint64_t runIndex = 0;    ///< planned run the snapshot belongs to
@@ -48,6 +54,9 @@ struct SnapshotInfo {
   bool hasState = false;         ///< false = run-boundary marker
   std::uint32_t realSize = 0;    ///< sizeof(Real) of the saved arenas
   std::uint32_t width = 0;       ///< fused width W of the saved run
+  std::uint32_t version = kSnapshotVersion;  ///< format version of the file
+  /// Precision the snapshot was written at (v1 files: kF64 by inference).
+  solver::Precision precision = solver::Precision::kF64;
 };
 
 /// Read and validate only the snapshot header (magic, version, full-file
@@ -70,12 +79,24 @@ void saveSnapshot(const std::string& path, std::uint64_t batchFingerprint, std::
 template <typename Real, int W>
 SnapshotInfo loadSnapshot(const std::string& path, solver::Simulation<Real, W>& sim);
 
+extern template void saveSnapshot<float, 1>(const std::string&, std::uint64_t, std::uint64_t,
+                                            std::uint64_t, const solver::Simulation<float, 1>*);
+extern template void saveSnapshot<float, 2>(const std::string&, std::uint64_t, std::uint64_t,
+                                            std::uint64_t, const solver::Simulation<float, 2>*);
+extern template void saveSnapshot<float, 4>(const std::string&, std::uint64_t, std::uint64_t,
+                                            std::uint64_t, const solver::Simulation<float, 4>*);
 extern template void saveSnapshot<double, 1>(const std::string&, std::uint64_t, std::uint64_t,
                                              std::uint64_t, const solver::Simulation<double, 1>*);
 extern template void saveSnapshot<double, 2>(const std::string&, std::uint64_t, std::uint64_t,
                                              std::uint64_t, const solver::Simulation<double, 2>*);
 extern template void saveSnapshot<double, 4>(const std::string&, std::uint64_t, std::uint64_t,
                                              std::uint64_t, const solver::Simulation<double, 4>*);
+extern template SnapshotInfo loadSnapshot<float, 1>(const std::string&,
+                                                    solver::Simulation<float, 1>&);
+extern template SnapshotInfo loadSnapshot<float, 2>(const std::string&,
+                                                    solver::Simulation<float, 2>&);
+extern template SnapshotInfo loadSnapshot<float, 4>(const std::string&,
+                                                    solver::Simulation<float, 4>&);
 extern template SnapshotInfo loadSnapshot<double, 1>(const std::string&,
                                                      solver::Simulation<double, 1>&);
 extern template SnapshotInfo loadSnapshot<double, 2>(const std::string&,

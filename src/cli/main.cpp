@@ -30,9 +30,13 @@ void printUsage() {
       "      --threads N       OpenMP threads per rank for the solver loops (>= 1;\n"
       "                        default: hardware threads / ranks; results are\n"
       "                        bitwise-identical for every value)\n"
-      "      --kernel B        small-GEMM backend: auto | scalar | vector (default\n"
-      "                        auto = CPU detection; explicit vector errors instead\n"
-      "                        of falling back; bitwise-identical results)\n"
+      "      --kernel B        small-GEMM backend: auto | scalar | vector |\n"
+      "                        specialized (default auto = CPU detection; an\n"
+      "                        explicit vector/specialized errors instead of\n"
+      "                        falling back; bitwise-identical results)\n"
+      "      --precision P     arithmetic precision: f64 | f32 (default f64 for\n"
+      "                        quickstart/loh3; fused/lahabra are f32-only; f32\n"
+      "                        accuracy is misfit-gated, see docs/KERNELS.md)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
@@ -121,6 +125,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--kernel") {
       try {
         opts.kernelBackend = nglts::linalg::parseKernelBackend(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
+    } else if (arg == "--precision") {
+      try {
+        opts.precision = nglts::solver::parsePrecision(requireValue(argc, argv, i));
       } catch (const std::invalid_argument& e) {
         usageError(e.what());
       }

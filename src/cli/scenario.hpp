@@ -31,9 +31,9 @@ struct ScenarioOptions {
   /// Paper symbol: number of clusters in Figs. 4/5.
   std::optional<int_t> numClusters;
   /// Fused-simulation width W (Sec. IV-A): number of forward simulations
-  /// advanced in one solver execution. Valid: 1 or 2 for double-precision
-  /// scenarios, 1, 8 or 16 for single-precision ones (the instantiated
-  /// kernel widths).
+  /// advanced in one solver execution. Valid: 1 or 2 for quickstart/loh3
+  /// (at either --precision), 1, 8 or 16 for the single-precision fused/
+  /// lahabra scenarios (the instantiated kernel widths).
   std::optional<int_t> fusedWidth;
   /// Simulated end time [s] (> 0). Scenarios run full LTS cycles until at
   /// least this much physical time is covered.
@@ -50,10 +50,17 @@ struct ScenarioOptions {
   std::optional<int_t> threads;
   /// Small-GEMM kernel backend (`SimConfig::kernelBackend`, the `--kernel`
   /// flag; docs/KERNELS.md): `auto` (CPU detection), `scalar` (reference
-  /// loops) or `vector` (explicit SIMD; hard error when unavailable rather
-  /// than a silent fallback). Bitwise-identical results across backends —
-  /// a pure performance knob.
+  /// loops), `vector` (explicit SIMD; hard error when unavailable rather
+  /// than a silent fallback) or `specialized` (vector plus compile-time-
+  /// sparsity kernels for registered patterns). Bitwise-identical results
+  /// across backends — a pure performance knob.
   std::optional<linalg::KernelBackend> kernelBackend;
+  /// Arithmetic precision (`SimConfig::precision`, the `--precision` flag):
+  /// f64 (the default for quickstart/loh3) or f32 (accuracy guarded by the
+  /// golden-seismogram misfit gates in tests/test_solver_lts.cpp, not by
+  /// bitwise identity — see docs/KERNELS.md). The fused and lahabra
+  /// scenarios are single-precision by design and reject an explicit f64.
+  std::optional<solver::Precision> precision;
   /// Fixed cluster-growth control parameter lambda (>= 0); setting it
   /// disables the scenario's automatic lambda sweep (Sec. V-A).
   std::optional<double> lambda;

@@ -66,12 +66,15 @@ void applyOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
 }
 
 
-/// Record the small-GEMM backend the run's kernels dispatch to in the
-/// scenario summary ("kernel backend: vector(avx2)"); CI greps this line to
-/// assert an explicit --kernel vector never silently degrades.
+/// Record the small-GEMM backend the run's kernels dispatch to and the
+/// arithmetic precision in the scenario summary ("kernel backend:
+/// vector(avx2)" / "precision: f64"); CI greps these lines to assert an
+/// explicit --kernel vector/specialized never silently degrades and that
+/// --precision f32 actually took effect.
 void appendKernelLine(std::string& out, const solver::SimConfig& cfg) {
   appendf(out, "kernel backend: %s\n",
           linalg::resolvedKernelBackendLabel(cfg.kernelBackend).c_str());
+  appendf(out, "precision: %s\n", solver::precisionName(cfg.precision));
 }
 
 /// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
@@ -201,9 +204,10 @@ class QuickstartScenario final : public Scenario {
   }
 
   ScenarioReport run(const ScenarioOptions& opts) const override {
+    const bool f32 = resolveConfig(opts).precision == solver::Precision::kF32;
     switch (resolveWidth(opts, 1, {1, 2}, "quickstart")) {
-      case 2: return runW<2>(opts);
-      default: return runW<1>(opts);
+      case 2: return f32 ? runW<float, 2>(opts) : runW<double, 2>(opts);
+      default: return f32 ? runW<float, 1>(opts) : runW<double, 1>(opts);
     }
   }
 
@@ -218,7 +222,7 @@ class QuickstartScenario final : public Scenario {
       throw std::runtime_error("quickstart receiver outside mesh");
   }
 
-  template <int W>
+  template <typename Real, int W>
   ScenarioReport runW(const ScenarioOptions& opts) const {
     solver::SimConfig cfg = resolveConfig(opts);
     const double tEnd = opts.endTime.value_or(2.0);
@@ -249,8 +253,8 @@ class QuickstartScenario final : public Scenario {
     if (nRanks > 1) {
       // Distributed path: same engine under a halo decomposition — the
       // seismogram is bitwise-identical to the single-rank run.
-      auto sim = makeDistributed<double, W>(std::move(mesh), std::move(materials), cfg,
-                                            nRanks);
+      auto sim = makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg,
+                                          nRanks);
       report.config = cfg;
       addSetup(sim);
       progressf(opts, "running distributed on %lld ranks...\n",
@@ -261,7 +265,7 @@ class QuickstartScenario final : public Scenario {
       appendDistLine(report.summary, st, sim.ranks(), /*compressed=*/true);
       report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
     } else {
-      solver::Simulation<double, W> sim(std::move(mesh), std::move(materials), cfg);
+      solver::Simulation<Real, W> sim(std::move(mesh), std::move(materials), cfg);
       report.config = sim.config();
       appendf(report.summary, "clusters:");
       for (idx_t n : sim.clustering().clusterSize)
@@ -313,9 +317,10 @@ class Loh3Scenario final : public Scenario {
   }
 
   ScenarioReport run(const ScenarioOptions& opts) const override {
+    const bool f32 = resolveConfig(opts).precision == solver::Precision::kF32;
     switch (resolveWidth(opts, 1, {1, 2}, "loh3")) {
-      case 2: return runW<2>(opts);
-      default: return runW<1>(opts);
+      case 2: return f32 ? runW<float, 2>(opts) : runW<double, 2>(opts);
+      default: return f32 ? runW<float, 1>(opts) : runW<double, 1>(opts);
     }
   }
 
@@ -335,12 +340,12 @@ class Loh3Scenario final : public Scenario {
     return mesh::generateBox(spec);
   }
 
-  template <int W>
-  solver::Simulation<double, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
+  template <typename Real, int W>
+  solver::Simulation<Real, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
     mesh::TetMesh mesh = makeMesh(meshScale);
     const seismo::Loh3Model model(0.0);
     auto materials = seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
-    return solver::Simulation<double, W>(std::move(mesh), std::move(materials), cfg);
+    return solver::Simulation<Real, W>(std::move(mesh), std::move(materials), cfg);
   }
 
   template <typename Sim>
@@ -354,7 +359,7 @@ class Loh3Scenario final : public Scenario {
     sim.addReceiver({3900.0, 3600.0, -20.0});
   }
 
-  template <int W>
+  template <typename Real, int W>
   ScenarioReport runW(const ScenarioOptions& opts) const {
     solver::SimConfig cfg = resolveConfig(opts);
     solver::SimConfig gtsCfg = cfg;
@@ -363,7 +368,7 @@ class Loh3Scenario final : public Scenario {
     const double tEnd = opts.endTime.value_or(2.0);
     const int_t nRanks = opts.ranks.value_or(1);
 
-    auto gts = makeSim<W>(gtsCfg, opts.meshScale);
+    auto gts = makeSim<Real, W>(gtsCfg, opts.meshScale);
     addSetup(gts);
     ScenarioReport report;
     appendKernelLine(report.summary, cfg);
@@ -376,7 +381,7 @@ class Loh3Scenario final : public Scenario {
       auto materials =
           seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
       auto primary =
-          makeDistributed<double, W>(std::move(mesh), std::move(materials), cfg, nRanks);
+          makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg, nRanks);
       report.config = cfg;
       appendf(report.summary,
               "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
@@ -396,7 +401,7 @@ class Loh3Scenario final : public Scenario {
       return report;
     }
 
-    auto primary = makeSim<W>(cfg, opts.meshScale);
+    auto primary = makeSim<Real, W>(cfg, opts.meshScale);
     report.config = primary.config();
     appendf(report.summary, "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
             static_cast<long long>(primary.meshRef().numElements()),
@@ -414,10 +419,11 @@ class Loh3Scenario final : public Scenario {
   }
 
   /// Per-receiver misfit vs the GTS reference plus the CSV artifact; works
-  /// for both the shared-memory and the distributed primary simulation.
-  template <int W, typename PrimarySim>
+  /// for both the shared-memory and the distributed primary simulation, at
+  /// either precision (traces are resampled to double either way).
+  template <typename Real, int W, typename PrimarySim>
   void compareReceivers(const ScenarioOptions& opts, const solver::SimConfig& cfg, double tEnd,
-                        solver::Simulation<double, W>& gts, PrimarySim& primary,
+                        solver::Simulation<Real, W>& gts, PrimarySim& primary,
                         ScenarioReport& report) const {
     const idx_t samples = 400;
     std::vector<std::vector<double>> columns;
@@ -470,6 +476,10 @@ class LaHabraScenario final : public Scenario {
     cfg.autoLambda = true;
     cfg.sparseKernels = opts.fusedWidth.value_or(1) > 1; // fused => all-sparse kernels
     applyOverrides(cfg, opts, kDefaultRanks); // distributed by default
+    if (opts.precision && *opts.precision != solver::Precision::kF32)
+      throw std::invalid_argument(
+          "scenario 'lahabra' runs single-precision only (drop --precision or pass f32)");
+    cfg.precision = solver::Precision::kF32;
     resolveWidth(opts, 1, {1, 8, 16}, "lahabra");
     // GTS in the distributed driver is LTS with a single cluster.
     if (cfg.scheme == solver::TimeScheme::kGts) cfg.numClusters = 1;
@@ -570,6 +580,10 @@ class FusedScenario final : public Scenario {
     cfg.sparseKernels = true;
     cfg.attenuationFreq = 1.0;
     applyOverrides(cfg, opts);
+    if (opts.precision && *opts.precision != solver::Precision::kF32)
+      throw std::invalid_argument(
+          "scenario 'fused' runs single-precision only (drop --precision or pass f32)");
+    cfg.precision = solver::Precision::kF32;
     resolveWidth(opts, 16, {1, 8, 16}, "fused");
     return cfg;
   }
@@ -665,9 +679,10 @@ void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
   if (opts.scheme) cfg.scheme = *opts.scheme;
   if (opts.numClusters) cfg.numClusters = *opts.numClusters;
   if (opts.kernelBackend) cfg.kernelBackend = *opts.kernelBackend;
-  // Resolve now so an explicit --kernel vector on an unsupported build/host
-  // fails at config time (never a silent fallback mid-run).
+  // Resolve now so an explicit --kernel vector/specialized on an unsupported
+  // build/host fails at config time (never a silent fallback mid-run).
   linalg::resolveKernelBackend(cfg.kernelBackend);
+  if (opts.precision) cfg.precision = *opts.precision;
   if (opts.lambda) {
     cfg.lambda = *opts.lambda;
     cfg.autoLambda = false;

@@ -7,11 +7,15 @@
 // Accounting contract (docs/KERNELS.md, "Flop accounting"): counts are
 // *analytic* — derived from operand shapes and stored-nonzero counts, never
 // from hardware counters — and therefore identical for every kernel backend
-// (`--kernel scalar` / `vector`): a backend changes how fast the operations
-// run, not how many of them are useful. Each small-GEMM returns its own
-// count (see linalg/small_gemm.hpp); `AderKernels` sums those into the
-// per-thread counters the executor's `WorkspacePool` drains into
-// `PerfStats::flops`.
+// (`--kernel scalar` / `vector` / `specialized`) and for every precision
+// (`--precision f64` / `f32`): a backend or a narrower Real changes how
+// fast the operations run, not how many of them are useful. Nothing in
+// this header depends on the scalar type, and the per-kernel count
+// expressions in linalg/small_gemm.hpp use only shape and nnz arguments —
+// keep it that way, or f32-vs-f64 GFLOPS comparisons stop meaning
+// anything. Each small-GEMM returns its own count; `AderKernels` sums
+// those into the per-thread counters the executor's `WorkspacePool`
+// drains into `PerfStats::flops`.
 #include <cstdint>
 
 namespace nglts {

@@ -12,11 +12,15 @@ namespace nglts::linalg {
 namespace {
 
 /// ISA of the vector-backend kernels that would actually run on this
-/// build + host: the AVX2 runtime clone when compiled in and the CPU has
-/// AVX2, else the baseline variant's compile-time width. NOT the same as
-/// `detectCpuSimd().isa` — a portable build on an AVX-512 host still runs
-/// the 32-byte AVX2 clones.
+/// build + host: the widest runtime clone compiled in that the CPU
+/// supports (AVX-512 before AVX2), else the baseline variant's
+/// compile-time width. NOT the same as `detectCpuSimd().isa` — the clone
+/// tables only exist on portable x86-64 builds, and a build without them
+/// runs whatever `-march` baked in.
 const char* vectorKernelIsa() {
+#if NGLTS_HAVE_AVX512_CLONES
+  if (detectCpuSimd().avx512f) return "avx512f";
+#endif
 #if NGLTS_HAVE_AVX2_CLONES
   if (detectCpuSimd().avx2) return "avx2";
 #endif
@@ -68,6 +72,10 @@ const std::vector<KernelBackendInfo>& kernelBackendRegistry() {
       {KernelBackend::kVector, "vector",
        "explicit register-blocked SIMD micro-kernels (GCC/Clang vector extensions)",
        vectorBackendCompiled() && detectCpuSimd().any()},
+      {KernelBackend::kSpecialized, "specialized",
+       "vector backend + compile-time-sparsity CSR kernels for registered (order, pattern) "
+       "pairs, generic vector fallback per operator",
+       vectorBackendCompiled() && detectCpuSimd().any()},
   };
   return registry;
 }
@@ -85,6 +93,17 @@ KernelBackend resolveKernelBackend(KernelBackend requested) {
                                      : "build has no vector kernels") +
             "); an explicit request never falls back — use '--kernel auto'");
       return KernelBackend::kVector;
+    case KernelBackend::kSpecialized:
+      // Same availability as the vector backend: the specialized kernels
+      // are built on the same vector machinery and fall back to it per
+      // operator, so a host that cannot run vector cannot run specialized.
+      if (!vectorOk)
+        throw std::runtime_error(
+            std::string("kernel backend 'specialized' requested but unavailable (") +
+            (vectorBackendCompiled() ? "CPU reports no SIMD features"
+                                     : "build has no vector kernels") +
+            "); an explicit request never falls back — use '--kernel auto'");
+      return KernelBackend::kSpecialized;
     case KernelBackend::kAuto:
       return vectorOk ? KernelBackend::kVector : KernelBackend::kScalar;
   }
@@ -96,6 +115,7 @@ std::string kernelBackendName(KernelBackend b) {
     case KernelBackend::kAuto: return "auto";
     case KernelBackend::kScalar: return "scalar";
     case KernelBackend::kVector: return "vector";
+    case KernelBackend::kSpecialized: return "specialized";
   }
   return "?";
 }
@@ -105,13 +125,15 @@ KernelBackend parseKernelBackend(const std::string& s) {
   for (const KernelBackendInfo& info : kernelBackendRegistry())
     if (s == info.name) return info.id;
   throw std::invalid_argument("unknown kernel backend '" + s +
-                              "' (expected auto | scalar | vector)");
+                              "' (expected auto | scalar | vector | specialized)");
 }
 
 std::string resolvedKernelBackendLabel(KernelBackend requested) {
   const KernelBackend resolved = resolveKernelBackend(requested);
   if (resolved == KernelBackend::kVector)
     return "vector(" + std::string(vectorKernelIsa()) + ")";
+  if (resolved == KernelBackend::kSpecialized)
+    return "specialized(" + std::string(vectorKernelIsa()) + ")";
   return kernelBackendName(resolved);
 }
 

@@ -1,18 +1,26 @@
 #pragma once
 // Kernel backend selection for the small-GEMM hot-path layer
-// (docs/KERNELS.md). Two implementations of every kernel exist:
+// (docs/KERNELS.md). Three implementations of every kernel exist:
 //
 //   * scalar — the reference triple loops of linalg/small_gemm.hpp
 //     (`#pragma omp simd` hints only, auto-vectorization),
 //   * vector — the explicit register-blocked SIMD micro-kernels of
-//     linalg/small_gemm_vector.hpp (GCC/Clang vector extensions).
+//     linalg/small_gemm_vector.hpp (GCC/Clang vector extensions),
+//   * specialized — the vector backend plus order-specialized CSR kernels
+//     whose sparsity patterns are compile-time constants
+//     (linalg/small_gemm_specialized.hpp); operator matrices whose pattern
+//     is not in the committed table fall back to the generic vector path
+//     per operator (the SeisSol/libxsmm sparsity-unrolling trick).
 //
 // The backend is a *runtime* choice: `resolveKernelBackend` maps the
 // requested backend (`SimConfig::kernelBackend`, the `--kernel` CLI flag,
 // or the `NGLTS_KERNEL` bench environment variable) to a concrete one,
 // using compile-time availability plus CPU feature detection for `auto`.
-// An *explicit* `vector` request never silently falls back — it throws if
-// the build or host cannot honor it (CI asserts this).
+// An *explicit* `vector` or `specialized` request never silently falls
+// back — it throws if the build or host cannot honor it (CI asserts this).
+// `auto` resolves to `vector`: the specialized backend is opt-in, because
+// its per-operator pattern lookup is an exact-match registry and the win
+// is shape-dependent (bench/kernel_micro.cpp measures it).
 //
 // Both backends are bitwise-identical by construction: they vectorize only
 // across independent output elements and preserve the scalar reference's
@@ -26,12 +34,15 @@
 namespace nglts::linalg {
 
 /// Requested kernel backend. `kAuto` resolves at runtime (CPU detection);
-/// `kScalar`/`kVector` force one implementation — `kVector` hard-errors
-/// instead of falling back when unavailable.
+/// `kScalar`/`kVector`/`kSpecialized` force one implementation —
+/// `kVector`/`kSpecialized` hard-error instead of falling back when
+/// unavailable (the *per-operator* pattern fallback inside kSpecialized is
+/// a documented part of that backend, not a silent degradation).
 enum class KernelBackend : int_t {
-  kAuto = 0,  ///< resolve via `resolveKernelBackend` (the default)
-  kScalar,    ///< reference triple loops, auto-vectorization only
-  kVector     ///< explicit register-blocked SIMD micro-kernels
+  kAuto = 0,    ///< resolve via `resolveKernelBackend` (the default)
+  kScalar,      ///< reference triple loops, auto-vectorization only
+  kVector,      ///< explicit register-blocked SIMD micro-kernels
+  kSpecialized  ///< vector + compile-time-pattern CSR kernels where registered
 };
 
 /// Host SIMD capability, detected once at first use (x86: cpuid via
@@ -71,29 +82,34 @@ struct KernelBackendInfo {
   bool available;
 };
 
-/// The backend registry (scalar, vector — `auto` is a resolution rule, not
-/// an implementation, so it is not listed). Order is stable.
+/// The backend registry (scalar, vector, specialized — `auto` is a
+/// resolution rule, not an implementation, so it is not listed). Order is
+/// stable.
 const std::vector<KernelBackendInfo>& kernelBackendRegistry();
 
 /// Map a requested backend to a concrete one:
-///   * kScalar -> kScalar (always available),
-///   * kVector -> kVector, or `std::runtime_error` when the build has no
-///     vector kernels or the CPU reports no SIMD — an explicit request
+///   * kScalar      -> kScalar (always available),
+///   * kVector      -> kVector, or `std::runtime_error` when the build has
+///     no vector kernels or the CPU reports no SIMD — an explicit request
 ///     must never silently degrade,
-///   * kAuto   -> kVector when compiled in and the CPU has SIMD, else
-///     kScalar.
+///   * kSpecialized -> kSpecialized under the same availability rule as
+///     kVector (its generic-path fallback *is* the vector backend),
+///   * kAuto        -> kVector when compiled in and the CPU has SIMD, else
+///     kScalar (never kSpecialized — that backend is opt-in).
 KernelBackend resolveKernelBackend(KernelBackend requested);
 
-/// Stable name of a backend value: "auto" | "scalar" | "vector".
+/// Stable name of a backend value:
+/// "auto" | "scalar" | "vector" | "specialized".
 std::string kernelBackendName(KernelBackend b);
 
 /// Inverse of `kernelBackendName`; throws `std::invalid_argument` on
 /// anything else (the CLI's `--kernel` error path).
 KernelBackend parseKernelBackend(const std::string& s);
 
-/// Human-readable label of what `requested` resolves to, e.g. "scalar" or
-/// "vector(avx512f)" — printed in scenario summaries and bench artifacts so
-/// every measurement records the backend that produced it.
+/// Human-readable label of what `requested` resolves to, e.g. "scalar",
+/// "vector(avx512f)" or "specialized(avx2)" — printed in scenario summaries
+/// and bench artifacts so every measurement records the backend (and the
+/// ISA its kernels actually dispatch to) that produced it.
 std::string resolvedKernelBackendLabel(KernelBackend requested);
 
 } // namespace nglts::linalg

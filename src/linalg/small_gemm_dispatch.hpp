@@ -38,15 +38,22 @@ struct SmallGemmOps {
   KernelBackend backend;  ///< kScalar or kVector — which table this is
 };
 
-/// The table for a *resolved* backend (kScalar or kVector — pass requests
-/// through `resolveKernelBackend` first; kAuto maps to the scalar table
-/// here only as a safety net). The vector table exists for power-of-two W
-/// (every instantiated fused width) on compilers with vector extensions;
-/// otherwise the scalar table is returned for any request. On x86-64
-/// portable builds the vector backend carries an additional
-/// `target("avx2")` clone table, picked here at runtime when the CPU
-/// reports AVX2 — same bodies, 32-byte vectors, bitwise-identical results
-/// (small_gemm_vector.hpp).
+/// The table for a *resolved* backend (kScalar, kVector or kSpecialized —
+/// pass requests through `resolveKernelBackend` first; kAuto maps to the
+/// scalar table here only as a safety net). The vector table exists for
+/// power-of-two W (every instantiated fused width) on compilers with
+/// vector extensions; otherwise the scalar table is returned for any
+/// request. On x86-64 portable builds the vector backend carries
+/// additional `target("avx2")` and `target("avx512f")` clone tables,
+/// picked here at runtime (widest CPU-supported ISA first) — same bodies,
+/// 32/64-byte vectors, bitwise-identical results (small_gemm_vector.hpp).
+///
+/// `kSpecialized` returns the *generic* vector tables: at this raw layer
+/// the specialized backend is the vector backend. The pattern-specialized
+/// function pointers live one level up, resolved per operator matrix by
+/// `findSpecializedRightCsr` into `SmallOp::specializedRight`
+/// (small_gemm_specialized.hpp) — generic tables here are its documented
+/// runtime fallback for unregistered patterns.
 template <typename Real, int W>
 inline const SmallGemmOps<Real, W>& smallGemmOps(KernelBackend resolved) {
   static constexpr SmallGemmOps<Real, W> scalar = {
@@ -61,6 +68,17 @@ inline const SmallGemmOps<Real, W>& smallGemmOps(KernelBackend resolved) {
         &rightMulCsrVec<Real, W>,  &axpyBlockVec<Real>,      &scaleCopyBlockVec<Real>,
         KernelBackend::kVector,
     };
+    const bool wantsVector =
+        resolved == KernelBackend::kVector || resolved == KernelBackend::kSpecialized;
+#if NGLTS_HAVE_AVX512_CLONES
+    static constexpr SmallGemmOps<Real, W> vectorAvx512 = {
+        &starMulDenseVecAvx512<Real, W>, &starMulCsrVecAvx512<Real, W>,
+        &rightMulDenseVecAvx512<Real, W>, &rightMulCsrVecAvx512<Real, W>,
+        &axpyBlockVecAvx512<Real>,        &scaleCopyBlockVecAvx512<Real>,
+        KernelBackend::kVector,
+    };
+    if (wantsVector && detectCpuSimd().avx512f) return vectorAvx512;
+#endif
 #if NGLTS_HAVE_AVX2_CLONES
     static constexpr SmallGemmOps<Real, W> vectorAvx2 = {
         &starMulDenseVecAvx2<Real, W>, &starMulCsrVecAvx2<Real, W>,
@@ -68,9 +86,9 @@ inline const SmallGemmOps<Real, W>& smallGemmOps(KernelBackend resolved) {
         &axpyBlockVecAvx2<Real>,        &scaleCopyBlockVecAvx2<Real>,
         KernelBackend::kVector,
     };
-    if (resolved == KernelBackend::kVector && detectCpuSimd().avx2) return vectorAvx2;
+    if (wantsVector && detectCpuSimd().avx2) return vectorAvx2;
 #endif
-    if (resolved == KernelBackend::kVector) return vector;
+    if (wantsVector) return vector;
   }
 #endif
   return scalar;

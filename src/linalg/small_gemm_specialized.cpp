@@ -1,0 +1,373 @@
+// Order-specialized sparsity-unrolled CSR kernels — implementation of the
+// lookup declared in small_gemm_specialized.hpp. See that header for the
+// backend contract and tools/gen_specialized.cpp for the pattern tables.
+//
+// Layout of this file:
+//   1. the committed pattern structs (specialized_tables.inc),
+//   2. `SpecKernels<Real, W, VecBytes>` — kernel bodies that replay
+//      vecdetail::VecKernels' loop structure with the pattern's
+//      rowPtr/colIdx as compile-time constants (index_sequence expansion
+//      guarantees full unrolling; column offsets become immediates),
+//   3. per-ISA entry points (baseline / AVX2 / AVX-512 runtime clones,
+//      same multiversioning rules as small_gemm_vector.hpp),
+//   4. the exact-pattern matchers and the public find* lookups.
+//
+// Bitwise identity: each specialized kernel visits the same nonzeros in
+// the same k-ascending per-output order as the generic vector kernel (and
+// therefore the scalar reference); skipping structurally-empty rows skips
+// only loads/stores that rewrite unchanged data, never arithmetic.
+#include "linalg/small_gemm_specialized.hpp"
+
+#include <utility>
+
+#include "linalg/kernel_backend.hpp"
+#include "linalg/small_gemm_vector.hpp"
+
+#if NGLTS_HAVE_VECTOR_KERNELS
+// Same rationale as small_gemm_vector.hpp: generic vectors passed by value
+// into always-inlined helpers never expose an out-of-line call ABI.
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace nglts::linalg {
+
+#if NGLTS_HAVE_VECTOR_KERNELS
+
+namespace specdetail {
+
+#include "linalg/specialized_tables.inc"
+
+/// Exact structural match of a runtime CSR against a committed pattern.
+template <typename Pat, typename Real>
+bool matchesPattern(const Csr<Real>& c) {
+  if (c.rows != Pat::kRows || c.cols != Pat::kCols || c.nnz() != Pat::kNnz) return false;
+  for (int_t r = 0; r <= c.rows; ++r)
+    if (c.rowPtr[static_cast<std::size_t>(r)] != Pat::kRowPtr[r]) return false;
+  for (int_t i = 0; i < Pat::kNnz; ++i)
+    if (c.colIdx[static_cast<std::size_t>(i)] != Pat::kColIdx[i]) return false;
+  return true;
+}
+
+template <typename Real, int W, int VecBytes>
+struct SpecKernels {
+  using VK = vecdetail::VecKernels<Real, W, VecBytes>;
+  using V = typename VK::V;
+  using V1 = typename VK::V1;
+  using VW = typename VK::VW;
+  static constexpr int_t VL = VK::VL;
+  static constexpr int_t VWL = VK::VWL;
+  static constexpr int_t NV = VK::NV;
+  /// Register-blocking factor of the generic rightCsr — kept identical so
+  /// the variable grouping (and thus the memory access schedule) matches.
+  static constexpr int_t IB = 8 / NV > 1 ? 8 / NV : 1;
+
+  // -- right: O[i][n][w] += D[i][k][w] * B[k][n], pattern-constant B ------
+
+  template <typename Pat, int_t PIdx>
+  NGLTS_VEC_INLINE static void rightTermBlk(Real* oblk, const Real* val, std::size_t oStride,
+                                            const VW (&dv)[IB][NV]) {
+    const VW bvv = vecdetail::splat<VW, Real>(val[PIdx]);
+    constexpr std::size_t co = static_cast<std::size_t>(Pat::kColIdx[PIdx]) * W;
+    for (int_t ii = 0; ii < IB; ++ii) {
+      Real* ovec = oblk + ii * oStride + co;
+      for (int_t v = 0; v < NV; ++v)
+        vecdetail::storeu(ovec + v * VWL,
+                          vecdetail::loadu<VW>(ovec + v * VWL) + dv[ii][v] * bvv);
+    }
+  }
+
+  template <typename Pat, int_t P0, int_t... P>
+  NGLTS_VEC_INLINE static void rightTermsBlk(std::integer_sequence<int_t, P...>, Real* oblk,
+                                             const Real* val, std::size_t oStride,
+                                             const VW (&dv)[IB][NV]) {
+    (rightTermBlk<Pat, P0 + P>(oblk, val, oStride, dv), ...);
+  }
+
+  template <typename Pat, int_t KK>
+  NGLTS_VEC_INLINE static void rightRowBlk(const Real* dblk, Real* oblk, const Real* val,
+                                           std::size_t dStride, std::size_t oStride) {
+    constexpr int_t P0 = Pat::kRowPtr[KK];
+    constexpr int_t NNZ = Pat::kRowPtr[KK + 1] - P0;
+    // Structurally empty CK rows (common in the stiffness patterns, whose
+    // trailing rows vanish) contribute no terms: skip their D loads too.
+    if constexpr (NNZ > 0) {
+      VW dv[IB][NV];
+      for (int_t ii = 0; ii < IB; ++ii)
+        for (int_t v = 0; v < NV; ++v)
+          dv[ii][v] = vecdetail::loadu<VW>(dblk + ii * dStride +
+                                           static_cast<std::size_t>(KK) * W + v * VWL);
+      rightTermsBlk<Pat, P0>(std::make_integer_sequence<int_t, NNZ>{}, oblk, val, oStride, dv);
+    }
+  }
+
+  template <typename Pat, int_t... KK>
+  NGLTS_VEC_INLINE static void rightRowsBlk(std::integer_sequence<int_t, KK...>, int_t kUse,
+                                            const Real* dblk, Real* oblk, const Real* val,
+                                            std::size_t dStride, std::size_t oStride) {
+    ((KK < kUse ? rightRowBlk<Pat, KK>(dblk, oblk, val, dStride, oStride) : void()), ...);
+  }
+
+  template <typename Pat, int_t PIdx>
+  NGLTS_VEC_INLINE static void rightTermOne(Real* omat, const Real* val, const VW (&dv)[NV]) {
+    const VW bvv = vecdetail::splat<VW, Real>(val[PIdx]);
+    constexpr std::size_t co = static_cast<std::size_t>(Pat::kColIdx[PIdx]) * W;
+    for (int_t v = 0; v < NV; ++v)
+      vecdetail::storeu(omat + co + v * VWL,
+                        vecdetail::loadu<VW>(omat + co + v * VWL) + dv[v] * bvv);
+  }
+
+  template <typename Pat, int_t P0, int_t... P>
+  NGLTS_VEC_INLINE static void rightTermsOne(std::integer_sequence<int_t, P...>, Real* omat,
+                                             const Real* val, const VW (&dv)[NV]) {
+    (rightTermOne<Pat, P0 + P>(omat, val, dv), ...);
+  }
+
+  template <typename Pat, int_t KK>
+  NGLTS_VEC_INLINE static void rightRowOne(const Real* dmat, Real* omat, const Real* val) {
+    constexpr int_t P0 = Pat::kRowPtr[KK];
+    constexpr int_t NNZ = Pat::kRowPtr[KK + 1] - P0;
+    if constexpr (NNZ > 0) {
+      VW dv[NV];
+      for (int_t v = 0; v < NV; ++v)
+        dv[v] = vecdetail::loadu<VW>(dmat + static_cast<std::size_t>(KK) * W + v * VWL);
+      rightTermsOne<Pat, P0>(std::make_integer_sequence<int_t, NNZ>{}, omat, val, dv);
+    }
+  }
+
+  template <typename Pat, int_t... KK>
+  NGLTS_VEC_INLINE static void rightRowsOne(std::integer_sequence<int_t, KK...>, int_t kUse,
+                                            const Real* dmat, Real* omat, const Real* val) {
+    ((KK < kUse ? rightRowOne<Pat, KK>(dmat, omat, val) : void()), ...);
+  }
+
+  template <typename Pat>
+  NGLTS_VEC_INLINE static std::uint64_t rightCsr(int_t nVars, int_t kEff, const Csr<Real>& b,
+                                                 const Real* d, Real* o, int_t ldd, int_t ldo) {
+    static_assert(W > 1, "W == 1 delegates to the scalar reference (lookup returns nullptr)");
+    const int_t kUse = kEff < Pat::kRows ? kEff : Pat::kRows;
+    const int_t nnzUsed = Pat::kRowPtr[kUse] - Pat::kRowPtr[0];
+    const Real* val = b.values.data();
+    const std::size_t dStride = static_cast<std::size_t>(ldd) * W;
+    const std::size_t oStride = static_cast<std::size_t>(ldo) * W;
+    int_t i0 = 0;
+    for (; i0 + IB <= nVars; i0 += IB)
+      rightRowsBlk<Pat>(std::make_integer_sequence<int_t, Pat::kRows>{}, kUse,
+                        d + static_cast<std::size_t>(i0) * dStride,
+                        o + static_cast<std::size_t>(i0) * oStride, val, dStride, oStride);
+    for (; i0 < nVars; ++i0)
+      rightRowsOne<Pat>(std::make_integer_sequence<int_t, Pat::kRows>{}, kUse,
+                        d + static_cast<std::size_t>(i0) * dStride,
+                        o + static_cast<std::size_t>(i0) * oStride, val);
+    return 2ull * nVars * nnzUsed * W;
+  }
+
+  // -- star: O[m][b][w] += A[m][k] * D[k][b][w], pattern-constant A -------
+
+  template <typename Pat, int_t PIdx>
+  NGLTS_VEC_INLINE static void starTerm4(const Real* val, std::size_t stride, const Real* d,
+                                         int_t j, V& acc0, V& acc1, V& acc2, V& acc3) {
+    const Real* dr = d + static_cast<std::size_t>(Pat::kColIdx[PIdx]) * stride + j;
+    const V avv = vecdetail::splat<V, Real>(val[PIdx]);
+    acc0 += avv * vecdetail::loadu<V>(dr);
+    acc1 += avv * vecdetail::loadu<V>(dr + VL);
+    acc2 += avv * vecdetail::loadu<V>(dr + 2 * VL);
+    acc3 += avv * vecdetail::loadu<V>(dr + 3 * VL);
+  }
+
+  template <typename Pat, int_t P0, int_t... P>
+  NGLTS_VEC_INLINE static void starTerms4(std::integer_sequence<int_t, P...>, const Real* val,
+                                          std::size_t stride, const Real* d, int_t j, V& acc0,
+                                          V& acc1, V& acc2, V& acc3) {
+    (starTerm4<Pat, P0 + P>(val, stride, d, j, acc0, acc1, acc2, acc3), ...);
+  }
+
+  template <typename Pat, int_t PIdx, typename Vec>
+  NGLTS_VEC_INLINE static void starTerm1(const Real* val, std::size_t stride, const Real* d,
+                                         int_t j, Vec& acc) {
+    acc += vecdetail::splat<Vec, Real>(val[PIdx]) *
+           vecdetail::loadu<Vec>(d + static_cast<std::size_t>(Pat::kColIdx[PIdx]) * stride + j);
+  }
+
+  template <typename Pat, int_t P0, typename Vec, int_t... P>
+  NGLTS_VEC_INLINE static void starTerms1(std::integer_sequence<int_t, P...>, const Real* val,
+                                          std::size_t stride, const Real* d, int_t j, Vec& acc) {
+    (starTerm1<Pat, P0 + P, Vec>(val, stride, d, j, acc), ...);
+  }
+
+  template <typename Pat, int_t R>
+  NGLTS_VEC_INLINE static void starRow(const Real* val, int_t len, std::size_t stride,
+                                       const Real* d, Real* o) {
+    constexpr int_t P0 = Pat::kRowPtr[R];
+    constexpr int_t NNZ = Pat::kRowPtr[R + 1] - P0;
+    if constexpr (NNZ > 0) {
+      using Seq = std::make_integer_sequence<int_t, NNZ>;
+      Real* orow = o + static_cast<std::size_t>(R) * stride;
+      int_t j = 0;
+      for (; j + 4 * VL <= len; j += 4 * VL) {
+        V acc0 = vecdetail::loadu<V>(orow + j);
+        V acc1 = vecdetail::loadu<V>(orow + j + VL);
+        V acc2 = vecdetail::loadu<V>(orow + j + 2 * VL);
+        V acc3 = vecdetail::loadu<V>(orow + j + 3 * VL);
+        starTerms4<Pat, P0>(Seq{}, val, stride, d, j, acc0, acc1, acc2, acc3);
+        vecdetail::storeu(orow + j, acc0);
+        vecdetail::storeu(orow + j + VL, acc1);
+        vecdetail::storeu(orow + j + 2 * VL, acc2);
+        vecdetail::storeu(orow + j + 3 * VL, acc3);
+      }
+      for (; j + VL <= len; j += VL) {
+        V acc = vecdetail::loadu<V>(orow + j);
+        starTerms1<Pat, P0, V>(Seq{}, val, stride, d, j, acc);
+        vecdetail::storeu(orow + j, acc);
+      }
+      for (; j < len; ++j) {
+        V1 acc = vecdetail::loadu<V1>(orow + j);
+        starTerms1<Pat, P0, V1>(Seq{}, val, stride, d, j, acc);
+        vecdetail::storeu(orow + j, acc);
+      }
+    }
+  }
+
+  template <typename Pat, int_t... R>
+  NGLTS_VEC_INLINE static void starRows(std::integer_sequence<int_t, R...>, const Real* val,
+                                        int_t len, std::size_t stride, const Real* d, Real* o) {
+    (starRow<Pat, R>(val, len, stride, d, o), ...);
+  }
+
+  template <typename Pat>
+  NGLTS_VEC_INLINE static std::uint64_t starCsr(const Csr<Real>& a, int_t nCols, int_t ld,
+                                                const Real* d, Real* o) {
+    static_assert(W > 1, "W == 1 delegates to the scalar reference (lookup returns nullptr)");
+    const int_t len = nCols * W;
+    const std::size_t stride = static_cast<std::size_t>(ld) * W;
+    starRows<Pat>(std::make_integer_sequence<int_t, Pat::kRows>{}, a.values.data(), len, stride,
+                  d, o);
+    return 2ull * Pat::kNnz * nCols * W;
+  }
+};
+
+// -- Per-ISA entry points (multiversioning rules of small_gemm_vector.hpp) --
+
+template <typename Real, int W, typename Pat>
+std::uint64_t rightCsrSpecBase(int_t nVars, int_t kEff, const Csr<Real>& b, const Real* d,
+                               Real* o, int_t ldd, int_t ldo) {
+  return SpecKernels<Real, W, vecdetail::kBaseVecBytes>::template rightCsr<Pat>(nVars, kEff, b,
+                                                                                d, o, ldd, ldo);
+}
+
+template <typename Real, int W, typename Pat>
+std::uint64_t starCsrSpecBase(const Csr<Real>& a, int_t nCols, int_t ld, const Real* d,
+                              Real* o) {
+  return SpecKernels<Real, W, vecdetail::kBaseVecBytes>::template starCsr<Pat>(a, nCols, ld, d,
+                                                                               o);
+}
+
+#if NGLTS_HAVE_AVX2_CLONES
+
+template <typename Real, int W, typename Pat>
+NGLTS_TARGET_AVX2 std::uint64_t rightCsrSpecAvx2(int_t nVars, int_t kEff, const Csr<Real>& b,
+                                                 const Real* d, Real* o, int_t ldd, int_t ldo) {
+  return SpecKernels<Real, W, 32>::template rightCsr<Pat>(nVars, kEff, b, d, o, ldd, ldo);
+}
+
+template <typename Real, int W, typename Pat>
+NGLTS_TARGET_AVX2 std::uint64_t starCsrSpecAvx2(const Csr<Real>& a, int_t nCols, int_t ld,
+                                                const Real* d, Real* o) {
+  return SpecKernels<Real, W, 32>::template starCsr<Pat>(a, nCols, ld, d, o);
+}
+
+#endif // NGLTS_HAVE_AVX2_CLONES
+
+#if NGLTS_HAVE_AVX512_CLONES
+
+template <typename Real, int W, typename Pat>
+NGLTS_TARGET_AVX512 std::uint64_t rightCsrSpecAvx512(int_t nVars, int_t kEff,
+                                                     const Csr<Real>& b, const Real* d, Real* o,
+                                                     int_t ldd, int_t ldo) {
+  return SpecKernels<Real, W, 64>::template rightCsr<Pat>(nVars, kEff, b, d, o, ldd, ldo);
+}
+
+template <typename Real, int W, typename Pat>
+NGLTS_TARGET_AVX512 std::uint64_t starCsrSpecAvx512(const Csr<Real>& a, int_t nCols, int_t ld,
+                                                    const Real* d, Real* o) {
+  return SpecKernels<Real, W, 64>::template starCsr<Pat>(a, nCols, ld, d, o);
+}
+
+#endif // NGLTS_HAVE_AVX512_CLONES
+
+/// Widest runtime clone the host supports, decided once at lookup time —
+/// the same selection order as smallGemmOps' generic clone tables.
+template <typename Real, int W, typename Pat>
+SpecializedRightCsrFn<Real> pickRightIsa() {
+#if NGLTS_HAVE_AVX512_CLONES
+  if (detectCpuSimd().avx512f) return &rightCsrSpecAvx512<Real, W, Pat>;
+#endif
+#if NGLTS_HAVE_AVX2_CLONES
+  if (detectCpuSimd().avx2) return &rightCsrSpecAvx2<Real, W, Pat>;
+#endif
+  return &rightCsrSpecBase<Real, W, Pat>;
+}
+
+template <typename Real, int W, typename Pat>
+SpecializedStarCsrFn<Real> pickStarIsa() {
+#if NGLTS_HAVE_AVX512_CLONES
+  if (detectCpuSimd().avx512f) return &starCsrSpecAvx512<Real, W, Pat>;
+#endif
+#if NGLTS_HAVE_AVX2_CLONES
+  if (detectCpuSimd().avx2) return &starCsrSpecAvx2<Real, W, Pat>;
+#endif
+  return &starCsrSpecBase<Real, W, Pat>;
+}
+
+} // namespace specdetail
+
+#endif // NGLTS_HAVE_VECTOR_KERNELS
+
+template <typename Real, int W>
+SpecializedRightCsrFn<Real> findSpecializedRightCsr(const Csr<Real>& op) {
+#if NGLTS_HAVE_VECTOR_KERNELS
+  if constexpr (W > 1) {
+#define X(Pat)                                               \
+  if (specdetail::matchesPattern<specdetail::Pat>(op))       \
+    return specdetail::pickRightIsa<Real, W, specdetail::Pat>();
+    NGLTS_SPECIALIZED_RIGHT_PATTERNS(X)
+#undef X
+  }
+#endif
+  (void)op;
+  return nullptr;
+}
+
+template <typename Real, int W>
+SpecializedStarCsrFn<Real> findSpecializedStarCsr(const Csr<Real>& op) {
+#if NGLTS_HAVE_VECTOR_KERNELS
+  if constexpr (W > 1) {
+#define X(Pat)                                               \
+  if (specdetail::matchesPattern<specdetail::Pat>(op))       \
+    return specdetail::pickStarIsa<Real, W, specdetail::Pat>();
+    NGLTS_SPECIALIZED_STAR_PATTERNS(X)
+#undef X
+  }
+#endif
+  (void)op;
+  return nullptr;
+}
+
+template SpecializedRightCsrFn<float> findSpecializedRightCsr<float, 1>(const Csr<float>&);
+template SpecializedRightCsrFn<float> findSpecializedRightCsr<float, 2>(const Csr<float>&);
+template SpecializedRightCsrFn<float> findSpecializedRightCsr<float, 4>(const Csr<float>&);
+template SpecializedRightCsrFn<float> findSpecializedRightCsr<float, 8>(const Csr<float>&);
+template SpecializedRightCsrFn<float> findSpecializedRightCsr<float, 16>(const Csr<float>&);
+template SpecializedRightCsrFn<double> findSpecializedRightCsr<double, 1>(const Csr<double>&);
+template SpecializedRightCsrFn<double> findSpecializedRightCsr<double, 2>(const Csr<double>&);
+template SpecializedRightCsrFn<double> findSpecializedRightCsr<double, 4>(const Csr<double>&);
+
+template SpecializedStarCsrFn<float> findSpecializedStarCsr<float, 1>(const Csr<float>&);
+template SpecializedStarCsrFn<float> findSpecializedStarCsr<float, 2>(const Csr<float>&);
+template SpecializedStarCsrFn<float> findSpecializedStarCsr<float, 4>(const Csr<float>&);
+template SpecializedStarCsrFn<float> findSpecializedStarCsr<float, 8>(const Csr<float>&);
+template SpecializedStarCsrFn<float> findSpecializedStarCsr<float, 16>(const Csr<float>&);
+template SpecializedStarCsrFn<double> findSpecializedStarCsr<double, 1>(const Csr<double>&);
+template SpecializedStarCsrFn<double> findSpecializedStarCsr<double, 2>(const Csr<double>&);
+template SpecializedStarCsrFn<double> findSpecializedStarCsr<double, 4>(const Csr<double>&);
+
+} // namespace nglts::linalg

@@ -57,6 +57,28 @@
 #define NGLTS_HAVE_AVX2_CLONES 0
 #endif
 
+// AVX-512 runtime clones (same rationale, 64-byte vectors: 8 doubles /
+// 16 floats per register). Contraction subtlety: AVX512F carries its own
+// FMA instruction forms, so `target("avx512f")` alone lets GCC contract
+// `acc += a * b` into vfmadd even though the `fma` feature flag is absent.
+// On builds whose baseline cannot contract (no __FMA__: plain x86-64,
+// where the scalar reference and the AVX2 clones emit separate mul+add)
+// that would be an asymmetric contraction — a bitwise break against the
+// scalar reference. `optimize("fp-contract=off")` on the clone keeps the
+// mul+add pairs separate there. When the baseline itself has FMA
+// (__FMA__, e.g. -march=haswell) every backend contracts symmetrically
+// and the clone must contract too.
+#if defined(__x86_64__) && !defined(__AVX512F__)
+#define NGLTS_HAVE_AVX512_CLONES 1
+#if defined(__FMA__)
+#define NGLTS_TARGET_AVX512 __attribute__((target("avx512f")))
+#else
+#define NGLTS_TARGET_AVX512 __attribute__((optimize("fp-contract=off"), target("avx512f")))
+#endif
+#else
+#define NGLTS_HAVE_AVX512_CLONES 0
+#endif
+
 // The helpers pass generic vectors by value; without -mavx GCC warns that
 // the (hypothetical out-of-line) call ABI would change. Everything here is
 // forced inline, so no ABI is ever exposed — silence the note.
@@ -542,6 +564,71 @@ NGLTS_TARGET_AVX2 void scaleCopyBlockVecAvx2(Real s, const Real* src, Real* dst,
 
 #endif // NGLTS_HAVE_AVX2_CLONES
 
+// ---------------------------------------------------------------------------
+// AVX-512 runtime clones (x86-64 builds below AVX-512): the same bodies at
+// 64-byte vectors — W = 8 doubles or W = 16 floats fill one register, so
+// those fused widths run whole W-blocks per instruction. Selected by the
+// dispatch layer when `detectCpuSimd().avx512f` is set (checked *before*
+// the AVX2 clone). Contraction handling: see NGLTS_TARGET_AVX512 above.
+// ---------------------------------------------------------------------------
+
+#if NGLTS_HAVE_AVX512_CLONES
+
+template <typename Real, int W>
+NGLTS_TARGET_AVX512 std::uint64_t starMulDenseVecAvx512(int_t m, int_t k, int_t nCols,
+                                                        int_t ld, const Real* a, const Real* d,
+                                                        Real* o) {
+  if constexpr (W == 1)
+    return starMulDense<Real, 1>(m, k, nCols, ld, a, d, o);
+  else
+    return vecdetail::VecKernels<Real, W, 64>::starDense(m, k, nCols, ld, a, d, o);
+}
+
+template <typename Real, int W>
+NGLTS_TARGET_AVX512 std::uint64_t starMulCsrVecAvx512(const Csr<Real>& a, int_t nCols,
+                                                      int_t ld, const Real* d, Real* o) {
+  if constexpr (W == 1)
+    return starMulCsr<Real, 1>(a, nCols, ld, d, o);
+  else
+    return vecdetail::VecKernels<Real, W, 64>::starCsr(a, nCols, ld, d, o);
+}
+
+template <typename Real, int W>
+NGLTS_TARGET_AVX512 std::uint64_t rightMulDenseVecAvx512(int_t nVars, int_t kEff, int_t nEff,
+                                                         int_t ldb, const Real* d,
+                                                         const Real* b, Real* o, int_t ldd,
+                                                         int_t ldo) {
+  if constexpr (W == 1)
+    return rightMulDense<Real, 1>(nVars, kEff, nEff, ldb, d, b, o, ldd, ldo);
+  else
+    return vecdetail::VecKernels<Real, W, 64>::rightDense(nVars, kEff, nEff, ldb, d, b, o, ldd,
+                                                          ldo);
+}
+
+template <typename Real, int W>
+NGLTS_TARGET_AVX512 std::uint64_t rightMulCsrVecAvx512(int_t nVars, int_t kEff,
+                                                       const Csr<Real>& b, const Real* d,
+                                                       Real* o, int_t ldd, int_t ldo) {
+  if constexpr (W == 1)
+    return rightMulCsr<Real, 1>(nVars, kEff, b, d, o, ldd, ldo);
+  else
+    return vecdetail::VecKernels<Real, W, 64>::rightCsr(nVars, kEff, b, d, o, ldd, ldo);
+}
+
+template <typename Real>
+NGLTS_TARGET_AVX512 void axpyBlockVecAvx512(Real s, const Real* src, Real* dst,
+                                            std::size_t n) {
+  vecdetail::VecKernels<Real, 1, 64>::axpy(s, src, dst, n);
+}
+
+template <typename Real>
+NGLTS_TARGET_AVX512 void scaleCopyBlockVecAvx512(Real s, const Real* src, Real* dst,
+                                                 std::size_t n) {
+  vecdetail::VecKernels<Real, 1, 64>::scaleCopy(s, src, dst, n);
+}
+
+#endif // NGLTS_HAVE_AVX512_CLONES
+
 } // namespace nglts::linalg
 
 #pragma GCC diagnostic pop
@@ -549,4 +636,5 @@ NGLTS_TARGET_AVX2 void scaleCopyBlockVecAvx2(Real s, const Real* src, Real* dst,
 #else
 #define NGLTS_HAVE_VECTOR_KERNELS 0
 #define NGLTS_HAVE_AVX2_CLONES 0
+#define NGLTS_HAVE_AVX512_CLONES 0
 #endif // __GNUC__ || __clang__

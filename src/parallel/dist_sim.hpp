@@ -139,6 +139,7 @@ class DistributedSimulation {
 };
 
 extern template class DistributedSimulation<float, 1>;
+extern template class DistributedSimulation<float, 2>;
 extern template class DistributedSimulation<float, 8>;
 extern template class DistributedSimulation<float, 16>;
 extern template class DistributedSimulation<double, 1>;

@@ -425,6 +425,7 @@ DistStats DistributedSimulation<Real, W>::run(double endTime) {
 }
 
 template class DistributedSimulation<float, 1>;
+template class DistributedSimulation<float, 2>;
 template class DistributedSimulation<float, 8>;
 template class DistributedSimulation<float, 16>;
 template class DistributedSimulation<double, 1>;

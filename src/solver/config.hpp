@@ -4,6 +4,7 @@
 // and the Simulation facade (simulation.hpp).
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "common/types.hpp"
 #include "linalg/kernel_backend.hpp"
@@ -15,6 +16,35 @@ enum class TimeScheme : int_t {
   kLtsNextGen,   ///< three-buffer scheme (this paper)
   kLtsBaseline   ///< buffer+derivative scheme of [15]
 };
+
+/// Arithmetic precision of the solver's hot path (DOF arenas, kernels,
+/// predictor, seismo hooks). `kF64` is the accuracy reference; `kF32`
+/// reproduces the paper's single-precision fused runs — half the arena
+/// bandwidth and twice the SIMD lanes per register. fp32 results are NOT
+/// bitwise-comparable to fp64: they are gated by seismogram *misfit*
+/// against the double-precision golden fixtures instead (docs/KERNELS.md,
+/// "Precision policy"; tolerances asserted in tests/test_precision.cpp).
+enum class Precision : int_t {
+  kF64 = 0,  ///< double everywhere (the default and accuracy reference)
+  kF32       ///< float arenas + kernels, misfit-gated against f64 goldens
+};
+
+/// Stable name of a precision value: "f64" | "f32" (CLI/bench/artifacts).
+inline const char* precisionName(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
+
+/// Inverse of `precisionName`; throws `std::invalid_argument` on anything
+/// else (the CLI's `--precision` error path).
+inline Precision parsePrecision(const std::string& s) {
+  if (s == "f64") return Precision::kF64;
+  if (s == "f32") return Precision::kF32;
+  throw std::invalid_argument("unknown precision '" + s + "' (expected f64 | f32)");
+}
+
+/// Bytes of the scalar type a precision selects (checkpoint headers,
+/// snapshot validation).
+inline int_t precisionBytes(Precision p) { return p == Precision::kF32 ? 4 : 8; }
 
 /// Solver configuration shared by all time-stepping schemes. Every field
 /// has a validated range; `Simulation`'s constructor throws
@@ -43,6 +73,12 @@ struct SimConfig {
   /// implementation). Results are bitwise-identical across backends — a
   /// pure performance knob, exposed as `--kernel` on every scenario.
   linalg::KernelBackend kernelBackend = linalg::KernelBackend::kAuto;
+  /// Execution precision (`--precision {f64,f32}`): selects which
+  /// `Simulation<Real, W>` instantiation the CLI/batch layers dispatch to.
+  /// The `Simulation` constructor normalizes this field to match its actual
+  /// scalar type, so `config()` always reports the precision that ran.
+  /// fp32 is misfit-gated, not bitwise-gated — see the `Precision` enum.
+  Precision precision = Precision::kF64;
   /// Time-stepping scheme: GTS, the paper's next-generation clustered LTS
   /// (Sec. V), or the buffer+derivative baseline of [15].
   TimeScheme scheme = TimeScheme::kGts;

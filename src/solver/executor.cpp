@@ -244,6 +244,8 @@ std::uint64_t StepExecutor<Real, W>::drainFlops() {
 }
 
 template class StepExecutor<float, 1>;
+template class StepExecutor<float, 2>;
+template class StepExecutor<float, 4>;
 template class StepExecutor<float, 8>;
 template class StepExecutor<float, 16>;
 template class StepExecutor<double, 1>;
@@ -252,6 +254,9 @@ template class StepExecutor<double, 4>;
 
 template std::unique_ptr<NeighborDataPolicy<float, 1>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<float, 1>&, const kernels::AderKernels<float, 1>&,
+    const std::vector<double>&);
+template std::unique_ptr<NeighborDataPolicy<float, 2>> makeNeighborDataPolicy(
+    const SimConfig&, const SolverState<float, 2>&, const kernels::AderKernels<float, 2>&,
     const std::vector<double>&);
 template std::unique_ptr<NeighborDataPolicy<float, 8>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<float, 8>&, const kernels::AderKernels<float, 8>&,

@@ -152,6 +152,8 @@ class StepExecutor {
 };
 
 extern template class StepExecutor<float, 1>;
+extern template class StepExecutor<float, 2>;
+extern template class StepExecutor<float, 4>;
 extern template class StepExecutor<float, 8>;
 extern template class StepExecutor<float, 16>;
 extern template class StepExecutor<double, 1>;

@@ -170,6 +170,8 @@ void projectInitialCondition(const kernels::AderKernels<Real, W>& kernels,
 }
 
 template class SeismoHook<float, 1>;
+template class SeismoHook<float, 2>;
+template class SeismoHook<float, 4>;
 template class SeismoHook<float, 8>;
 template class SeismoHook<float, 16>;
 template class SeismoHook<double, 1>;
@@ -180,6 +182,14 @@ template void projectInitialCondition(const kernels::AderKernels<float, 1>&,
                                       const mesh::TetMesh&,
                                       const std::vector<mesh::ElementGeometry>&,
                                       const InitialConditionFn&, SolverState<float, 1>&, idx_t);
+template void projectInitialCondition(const kernels::AderKernels<float, 2>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<float, 2>&, idx_t);
+template void projectInitialCondition(const kernels::AderKernels<float, 4>&,
+                                      const mesh::TetMesh&,
+                                      const std::vector<mesh::ElementGeometry>&,
+                                      const InitialConditionFn&, SolverState<float, 4>&, idx_t);
 template void projectInitialCondition(const kernels::AderKernels<float, 8>&,
                                       const mesh::TetMesh&,
                                       const std::vector<mesh::ElementGeometry>&,

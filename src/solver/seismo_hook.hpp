@@ -114,6 +114,8 @@ void projectInitialCondition(const kernels::AderKernels<Real, W>& kernels,
                              idx_t numElements);
 
 extern template class SeismoHook<float, 1>;
+extern template class SeismoHook<float, 2>;
+extern template class SeismoHook<float, 4>;
 extern template class SeismoHook<float, 8>;
 extern template class SeismoHook<float, 16>;
 extern template class SeismoHook<double, 1>;
@@ -124,6 +126,14 @@ extern template void projectInitialCondition(
     const kernels::AderKernels<float, 1>&, const mesh::TetMesh&,
     const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
     SolverState<float, 1>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<float, 2>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<float, 2>&, idx_t);
+extern template void projectInitialCondition(
+    const kernels::AderKernels<float, 4>&, const mesh::TetMesh&,
+    const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,
+    SolverState<float, 4>&, idx_t);
 extern template void projectInitialCondition(
     const kernels::AderKernels<float, 8>&, const mesh::TetMesh&,
     const std::vector<mesh::ElementGeometry>&, const InitialConditionFn&,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "solver/setup.hpp"
 
@@ -11,6 +12,10 @@ template <typename Real, int W>
 Simulation<Real, W>::Simulation(mesh::TetMesh mesh, std::vector<physics::Material> materials,
                                 SimConfig config)
     : cfg_(config), mesh_(std::move(mesh)), materials_(std::move(materials)) {
+  // Normalize the precision tag to the instantiated scalar type so
+  // `config()` (and every summary/artifact derived from it) reports the
+  // precision that actually ran, regardless of what the caller set.
+  cfg_.precision = std::is_same_v<Real, float> ? Precision::kF32 : Precision::kF64;
   validateSimConfig(cfg_);
   if (mesh_.faces.empty()) throw std::runtime_error("Simulation: mesh connectivity not built");
   if (static_cast<idx_t>(materials_.size()) != mesh_.numElements())
@@ -146,6 +151,8 @@ std::uint64_t Simulation<Real, W>::cycleCommBytes(const std::vector<int_t>& part
 }
 
 template class Simulation<float, 1>;
+template class Simulation<float, 2>;
+template class Simulation<float, 4>;
 template class Simulation<float, 8>;
 template class Simulation<float, 16>;
 template class Simulation<double, 1>;

@@ -138,6 +138,8 @@ class Simulation {
 };
 
 extern template class Simulation<float, 1>;
+extern template class Simulation<float, 2>;
+extern template class Simulation<float, 4>;
 extern template class Simulation<float, 8>;
 extern template class Simulation<float, 16>;
 extern template class Simulation<double, 1>;

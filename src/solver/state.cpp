@@ -105,6 +105,8 @@ SolverState<Real, W>::SolverState(const mesh::TetMesh& externalMesh,
 }
 
 template class SolverState<float, 1>;
+template class SolverState<float, 2>;
+template class SolverState<float, 4>;
 template class SolverState<float, 8>;
 template class SolverState<float, 16>;
 template class SolverState<double, 1>;

@@ -129,6 +129,8 @@ class SolverState {
 };
 
 extern template class SolverState<float, 1>;
+extern template class SolverState<float, 2>;
+extern template class SolverState<float, 4>;
 extern template class SolverState<float, 8>;
 extern template class SolverState<float, 16>;
 extern template class SolverState<double, 1>;

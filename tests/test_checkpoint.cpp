@@ -51,9 +51,9 @@ struct Fixture {
     cfg.autoLambda = false;
   }
 
-  template <int W>
-  std::unique_ptr<nsol::Simulation<double, W>> makeSim() const {
-    auto sim = std::make_unique<nsol::Simulation<double, W>>(pipe.mesh, pipe.materials, cfg);
+  template <int W, typename Real = double>
+  std::unique_ptr<nsol::Simulation<Real, W>> makeSim() const {
+    auto sim = std::make_unique<nsol::Simulation<Real, W>>(pipe.mesh, pipe.materials, cfg);
     std::vector<double> laneScale(W);
     for (int w = 0; w < W; ++w) laneScale[static_cast<std::size_t>(w)] = 1.0 + 0.5 * w;
     sim->addPointSource(
@@ -65,14 +65,14 @@ struct Fixture {
   }
 };
 
-template <int W>
-void expectSimsBitwiseEqual(const nsol::Simulation<double, W>& a,
-                            const nsol::Simulation<double, W>& b) {
+template <typename Real, int W>
+void expectSimsBitwiseEqual(const nsol::Simulation<Real, W>& a,
+                            const nsol::Simulation<Real, W>& b) {
   const auto& sa = a.state();
   ASSERT_EQ(sa.numElements(), b.state().numElements());
   for (idx_t el = 0; el < sa.numElements(); ++el) {
-    const double* qa = a.dofs(el);
-    const double* qb = b.dofs(el);
+    const Real* qa = a.dofs(el);
+    const Real* qb = b.dofs(el);
     for (std::size_t i = 0; i < sa.elSize(); ++i)
       ASSERT_EQ(qa[i], qb[i]) << "element " << el << " dof " << i;
   }
@@ -342,4 +342,169 @@ TEST_F(SnapshotDamage, RunBoundaryMarkerCarriesNoState) {
   EXPECT_EQ(info.runIndex, 1u);
   auto sim = fx_->makeSim<1>();
   expectLoadError("carries no state");
+}
+
+// ---------------------------------------------------------------------------
+// Precision field (snapshot v2) and v1 backward compatibility
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fnv1aOf(const std::vector<char>& p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Rewrite a v2 snapshot as the byte-exact v1 format the f64-only builds
+/// wrote: version 1 at offset 8, no precision u32 (offset 24..28 in v2),
+/// fresh FNV-1a trailer.
+std::vector<char> downgradeToV1(std::vector<char> v2) {
+  v2[8] = 1;
+  v2.erase(v2.begin() + 24, v2.begin() + 28);
+  v2.resize(v2.size() - 8); // drop the stale checksum trailer
+  const std::uint64_t sum = fnv1aOf(v2, v2.size());
+  for (int i = 0; i < 8; ++i)
+    v2.push_back(static_cast<char>((sum >> (8 * i)) & 0xff));
+  return v2;
+}
+
+} // namespace
+
+TEST_F(SnapshotDamage, CurrentSnapshotIsV2F64) {
+  const nbatch::SnapshotInfo info = nbatch::peekSnapshot(path_);
+  EXPECT_EQ(info.version, nbatch::kSnapshotVersion);
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.precision, nsol::Precision::kF64);
+}
+
+TEST_F(SnapshotDamage, V1SnapshotLoadsInferringF64) {
+  writeAll(path_, downgradeToV1(bytes_));
+  const nbatch::SnapshotInfo peeked = nbatch::peekSnapshot(path_);
+  EXPECT_EQ(peeked.version, 1u);
+  EXPECT_EQ(peeked.precision, nsol::Precision::kF64);
+  auto sim = fx_->makeSim<1>();
+  const nbatch::SnapshotInfo info = nbatch::loadSnapshot(path_, *sim);
+  EXPECT_EQ(info.cyclesDone, 2u); // the state block parsed at the v1 offset
+}
+
+TEST_F(SnapshotDamage, PrecisionMismatchMentionsPrecisionFlag) {
+  // The snapshot carries f64 state; restoring into an f32 build of the same
+  // run must fail on the precision check (before the raw sizeof diagnostic).
+  auto sim = fx_->makeSim<1, float>();
+  try {
+    nbatch::loadSnapshot(path_, *sim);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--precision"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(SnapshotDamage, F32RoundTripIsBitwiseIdentical) {
+  auto uninterrupted = fx_->makeSim<2, float>();
+  uninterrupted->runCycles(6);
+  {
+    auto first = fx_->makeSim<2, float>();
+    first->runCycles(2);
+    nbatch::saveSnapshot(path_, 9, 0, 2, first.get());
+  }
+  const nbatch::SnapshotInfo peeked = nbatch::peekSnapshot(path_);
+  EXPECT_EQ(peeked.precision, nsol::Precision::kF32);
+  EXPECT_EQ(peeked.realSize, sizeof(float));
+  auto resumed = fx_->makeSim<2, float>();
+  nbatch::loadSnapshot(path_, *resumed);
+  resumed->runCycles(4);
+  expectSimsBitwiseEqual(*resumed, *uninterrupted);
+}
+
+TEST(BatchCheckpoint, RestoreRejectsPrecisionFlip) {
+  nbatch::BatchConfig cfg = nbatch::quickstartBatchConfig();
+  cfg.endTime = 0.2;
+  cfg.pipeline.minEdge /= 0.4;
+  cfg.pipeline.maxEdge /= 0.4;
+  const std::string path = snapPath("precision");
+  cfg.checkpointEveryCycles = 2;
+  cfg.checkpointPath = path;
+  cfg.abortAfterCheckpoints = 1;
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  {
+    nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+    engine.add({{"a", 1.0, 1.0, {0.0, 0.0, 0.0}}});
+    engine.run(nullptr);
+  }
+  // Same batch, but --precision flipped to f32: the restore must name the
+  // precision flag, not report a generic fingerprint mismatch.
+  nbatch::BatchConfig other = cfg;
+  other.abortAfterCheckpoints = 0;
+  other.restore = true;
+  other.sim.precision = nsol::Precision::kF32;
+  nbatch::BatchEngine engine(model, other, nbatch::quickstartBatchModelKey());
+  engine.add({{"a", 1.0, 1.0, {0.0, 0.0, 0.0}}});
+  try {
+    engine.run(nullptr);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--precision"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchCheckpoint, F32BatchCheckpointRoundTrip) {
+  // The full kill/resume path at f32: interrupted + restored results must
+  // bitwise-match the uninterrupted f32 batch.
+  nbatch::BatchConfig cfg = nbatch::quickstartBatchConfig();
+  cfg.endTime = 0.2;
+  cfg.pipeline.minEdge /= 0.4;
+  cfg.pipeline.maxEdge /= 0.4;
+  cfg.maxFusedWidth = 2;
+  cfg.sim.precision = nsol::Precision::kF32;
+  const std::vector<nbatch::ScenarioRequest> reqs = {
+      {"a", 1.0, 1.0, {0.0, 0.0, 0.0}},
+      {"b", 1.5, 1.0, {10.0, 0.0, 0.0}},
+  };
+  const nsei::LayeredModel model = nbatch::quickstartBatchModel();
+  std::vector<nbatch::RequestResult> want;
+  {
+    nbatch::BatchEngine engine(model, cfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    engine.run([&](const nbatch::RequestResult& r) { want.push_back(r); });
+  }
+  ASSERT_EQ(want.size(), 2u);
+
+  const std::string path = snapPath("f32batch");
+  nbatch::BatchConfig ckCfg = cfg;
+  ckCfg.checkpointEveryCycles = 2;
+  ckCfg.checkpointPath = path;
+  ckCfg.abortAfterCheckpoints = 1;
+  std::vector<nbatch::RequestResult> collected;
+  {
+    nbatch::BatchEngine engine(model, ckCfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    EXPECT_TRUE(engine.run([&](const nbatch::RequestResult& r) {
+      collected.push_back(r);
+    }).interrupted);
+  }
+  nbatch::BatchConfig reCfg = ckCfg;
+  reCfg.abortAfterCheckpoints = 0;
+  reCfg.restore = true;
+  {
+    nbatch::BatchEngine engine(model, reCfg, nbatch::quickstartBatchModelKey());
+    engine.add(reqs);
+    engine.run([&](const nbatch::RequestResult& r) { collected.push_back(r); });
+  }
+  ASSERT_EQ(collected.size(), 2u);
+  for (const auto& got : collected) {
+    const auto it = std::find_if(want.begin(), want.end(), [&](const auto& w) {
+      return w.requestIndex == got.requestIndex;
+    });
+    ASSERT_NE(it, want.end());
+    ASSERT_EQ(got.trace.times.size(), it->trace.times.size()) << got.id;
+    for (std::size_t i = 0; i < got.trace.times.size(); ++i)
+      for (int_t v = 0; v < nglts::kElasticVars; ++v)
+        ASSERT_EQ(got.trace.values[i][v], it->trace.values[i][v]) << got.id;
+  }
+  std::remove(path.c_str());
 }
