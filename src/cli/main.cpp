@@ -26,10 +26,17 @@ void printUsage() {
       "      --clusters N      number of LTS clusters (>= 1)\n"
       "      --fused W         fused-simulation width (1|2 double, 1|8|16 float scenarios)\n"
       "      --end-time T      simulated end time [s]\n"
-      "      --ranks N         distributed ranks (> 1 runs the message-passing engine)\n"
+      "      --ranks N         distributed ranks (> 1 runs the message-passing engine;\n"
+      "                        default under --transport mpi: the mpirun world size)\n"
       "      --threads N       OpenMP threads per rank for the solver loops (>= 1;\n"
       "                        default: hardware threads / ranks; results are\n"
       "                        bitwise-identical for every value)\n"
+      "      --transport T     distributed halo transport: seq | thread | mpi\n"
+      "                        (default: seq lockstep, lahabra: thread; mpi needs an\n"
+      "                        NGLTS_WITH_MPI build under mpirun; bitwise-identical\n"
+      "                        results across transports)\n"
+      "      --overlap         overlap halo exchange with interior compute\n"
+      "                        (bitwise-identical to the lockstep exchange)\n"
       "      --kernel B        small-GEMM backend: auto | scalar | vector |\n"
       "                        specialized (default auto = CPU detection; an\n"
       "                        explicit vector/specialized errors instead of\n"
@@ -122,6 +129,14 @@ int main(int argc, char** argv) {
       opts.ranks = parseInt(arg, requireValue(argc, argv, i));
     } else if (arg == "--threads") {
       opts.threads = parseInt(arg, requireValue(argc, argv, i));
+    } else if (arg == "--transport") {
+      try {
+        opts.transport = nglts::parallel::parseTransport(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
+    } else if (arg == "--overlap") {
+      opts.overlap = true;
     } else if (arg == "--kernel") {
       try {
         opts.kernelBackend = nglts::linalg::parseKernelBackend(requireValue(argc, argv, i));
@@ -173,9 +188,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // MPI transport: one nglts process per rank under mpirun. Rank count
+  // defaults to the world size (`mpirun -n 4 nglts ... --transport mpi`
+  // just works) and only the root prints, so the output matches the
+  // in-process transports byte for byte.
+  bool mpiRoot = true;
+  if (opts.transport == nglts::parallel::Transport::kMpi) {
+    nglts::parallel::mpiInit(&argc, &argv);
+    if (!opts.ranks) opts.ranks = nglts::parallel::mpiWorldSize();
+    mpiRoot = nglts::parallel::mpiWorldRank() == 0;
+    if (!mpiRoot) opts.quiet = true;
+  }
+
   try {
     const ScenarioReport report = scenario->run(opts);
-    std::printf("%s", report.summary.c_str());
+    if (mpiRoot) std::printf("%s", report.summary.c_str());
+    nglts::parallel::mpiFinalize();
     return 0;
   } catch (const std::invalid_argument& e) {
     usageError(e.what());

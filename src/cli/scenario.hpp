@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "parallel/comm.hpp"
 #include "solver/simulation.hpp"
 
 namespace nglts::cli {
@@ -48,6 +49,15 @@ struct ScenarioOptions {
   /// threads divided evenly among the ranks. Results are bitwise-identical
   /// for every value — a pure performance knob.
   std::optional<int_t> threads;
+  /// Halo transport of the distributed engine (`--transport`): seq (SeqComm
+  /// lockstep, the bitwise reference), thread (one std::thread per rank) or
+  /// mpi (one process per rank; requires an NGLTS_WITH_MPI build under
+  /// mpirun). Unset keeps the scenario default — seq for quickstart/loh3,
+  /// thread for lahabra. Results are bitwise-identical across transports.
+  std::optional<parallel::Transport> transport;
+  /// Overlap halo communication with interior-element compute
+  /// (`--overlap`); bitwise-identical to the lockstep exchange (Sec. V-C).
+  bool overlap = false;
   /// Small-GEMM kernel backend (`SimConfig::kernelBackend`, the `--kernel`
   /// flag; docs/KERNELS.md): `auto` (CPU detection), `scalar` (reference
   /// loops), `vector` (explicit SIMD; hard error when unavailable rather

@@ -79,14 +79,15 @@ void appendKernelLine(std::string& out, const solver::SimConfig& cfg) {
 
 /// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
 /// value in `cfg`), cut the weighted dual graph into `nRanks` parts and
-/// build the distributed engine over it. SeqComm lockstep by default —
-/// results are bitwise-identical to the shared-memory solver.
+/// build the distributed engine over it. The transport comes from
+/// `--transport` (falling back to `defaultTransport`) and `--overlap`
+/// selects the overlapped exchange — results are bitwise-identical to the
+/// shared-memory solver in every combination.
 template <typename Real, int W>
-parallel::DistributedSimulation<Real, W> makeDistributed(mesh::TetMesh mesh,
-                                                         std::vector<physics::Material> mats,
-                                                         solver::SimConfig& cfg, int_t nRanks,
-                                                         bool compress = true,
-                                                         bool threaded = false) {
+parallel::DistributedSimulation<Real, W> makeDistributed(
+    mesh::TetMesh mesh, std::vector<physics::Material> mats, solver::SimConfig& cfg,
+    int_t nRanks, const ScenarioOptions& opts,
+    parallel::Transport defaultTransport = parallel::Transport::kSeq, bool compress = true) {
   // Resolve the clustering once for the partition weights and pin its
   // lambda into cfg — the driver's internal re-resolution (geometry + CFL +
   // buildClustering, cheap O(n)) then reproduces it without re-running the
@@ -101,7 +102,8 @@ parallel::DistributedSimulation<Real, W> makeDistributed(mesh::TetMesh mesh,
   parallel::DistConfig dcfg;
   dcfg.sim = cfg;
   dcfg.compressFaces = compress;
-  dcfg.threaded = threaded;
+  dcfg.transport = opts.transport.value_or(defaultTransport);
+  dcfg.overlap = opts.overlap;
   return parallel::DistributedSimulation<Real, W>(std::move(mesh), std::move(mats),
                                                   std::move(parts.part), dcfg);
 }
@@ -117,11 +119,12 @@ solver::PerfStats toPerfStats(const parallel::DistStats& st) {
 }
 
 void appendDistLine(std::string& out, const parallel::DistStats& st, int_t ranks,
-                    bool compressed) {
+                    bool compressed, parallel::Transport transport, bool overlap) {
   appendf(out,
-          "distributed run: %lld ranks, %.2f MB in %llu messages (%s), %.3g element "
-          "updates/s\n",
-          static_cast<long long>(ranks), st.commBytes / 1e6,
+          "distributed run: %lld ranks, %s transport, %s exchange, %.2f MB in %llu "
+          "messages (%s), %.3g element updates/s\n",
+          static_cast<long long>(ranks), parallel::transportName(transport).c_str(),
+          overlap ? "overlapped" : "lockstep", st.commBytes / 1e6,
           static_cast<unsigned long long>(st.messages),
           compressed ? "9xF face-local compression" : "raw 9xB buffers",
           st.seconds > 0 ? static_cast<double>(st.elementUpdates) / st.seconds : 0.0);
@@ -250,20 +253,25 @@ class QuickstartScenario final : public Scenario {
     ScenarioReport report;
     appendKernelLine(report.summary, cfg);
     const idx_t samples = 101;
+    bool root = true; // under MPI only rank 0 holds the gathered traces
     if (nRanks > 1) {
       // Distributed path: same engine under a halo decomposition — the
       // seismogram is bitwise-identical to the single-rank run.
       auto sim = makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg,
-                                          nRanks);
+                                          nRanks, opts);
       report.config = cfg;
       addSetup(sim);
       progressf(opts, "running distributed on %lld ranks...\n",
                 static_cast<long long>(sim.ranks()));
       const auto st = sim.run(tEnd);
+      sim.gatherReceivers();
+      root = sim.localRank() <= 0;
       report.stats = toPerfStats(st);
       appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
-      appendDistLine(report.summary, st, sim.ranks(), /*compressed=*/true);
-      report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
+      appendDistLine(report.summary, st, sim.ranks(), /*compressed=*/true, sim.transport(),
+                     opts.overlap);
+      if (root)
+        report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
     } else {
       solver::Simulation<Real, W> sim(std::move(mesh), std::move(materials), cfg);
       report.config = sim.config();
@@ -281,7 +289,7 @@ class QuickstartScenario final : public Scenario {
     for (double v : report.trace) peak = std::max(peak, std::fabs(v));
     appendf(report.summary, "receiver vx peak: %.4e m/s over %.2f s\n", peak, tEnd);
 
-    if (!opts.outputPrefix.empty()) {
+    if (!opts.outputPrefix.empty() && root) {
       const std::string path = opts.outputPrefix + "quickstart_seismogram.csv";
       writeTraceCsv(path, uniformTimes(tEnd, samples), {report.trace}, "time,vx");
       appendf(report.summary, "wrote %s\n", path.c_str());
@@ -381,7 +389,7 @@ class Loh3Scenario final : public Scenario {
       auto materials =
           seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
       auto primary =
-          makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg, nRanks);
+          makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg, nRanks, opts);
       report.config = cfg;
       appendf(report.summary,
               "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
@@ -392,12 +400,15 @@ class Loh3Scenario final : public Scenario {
       progressf(opts, "running distributed %s on %lld ranks...\n",
                 schemeName(cfg.scheme).c_str(), static_cast<long long>(primary.ranks()));
       const auto st = primary.run(tEnd);
+      primary.gatherReceivers();
       report.stats = toPerfStats(st);
       appendf(report.summary, "GTS: %.2f s wall;  %s: %.2f s wall  => measured speedup %.2fx\n",
               sg.seconds, schemeName(cfg.scheme).c_str(), report.stats.seconds,
               sg.seconds / report.stats.seconds);
-      appendDistLine(report.summary, st, primary.ranks(), /*compressed=*/true);
-      compareReceivers(opts, cfg, tEnd, gts, primary, report);
+      appendDistLine(report.summary, st, primary.ranks(), /*compressed=*/true,
+                     primary.transport(), opts.overlap);
+      // Under MPI only rank 0 holds the gathered traces.
+      if (primary.localRank() <= 0) compareReceivers(opts, cfg, tEnd, gts, primary, report);
       return report;
     }
 
@@ -532,7 +543,8 @@ class LaHabraScenario final : public Scenario {
     parallel::DistConfig dcfg;
     dcfg.sim = report.config;
     dcfg.compressFaces = true;
-    dcfg.threaded = true;
+    dcfg.transport = opts.transport.value_or(parallel::Transport::kThread);
+    dcfg.overlap = opts.overlap;
     parallel::DistributedSimulation<float, W> sim(pipe.mesh, pipe.materials, pipe.parts.part,
                                                   dcfg);
     sim.setInitialCondition([](const std::array<double, 3>& x, int_t, double* q9) {
@@ -553,8 +565,11 @@ class LaHabraScenario final : public Scenario {
             sim.ranks(), W, static_cast<unsigned long long>(st.cycles), st.seconds,
             static_cast<double>(st.elementUpdates) / st.seconds, report.stats.gflops());
     appendf(report.summary,
-            "communication: %.2f MB in %llu messages (face-local compression on)\n",
-            st.commBytes / 1e6, static_cast<unsigned long long>(st.messages));
+            "communication: %s transport, %s exchange, %.2f MB in %llu messages "
+            "(face-local compression on)\n",
+            parallel::transportName(sim.transport()).c_str(),
+            opts.overlap ? "overlapped" : "lockstep", st.commBytes / 1e6,
+            static_cast<unsigned long long>(st.messages));
     return report;
   }
 };

@@ -4,10 +4,27 @@
 
 namespace nglts::parallel {
 
+Transport parseTransport(const std::string& s) {
+  if (s == "seq") return Transport::kSeq;
+  if (s == "thread") return Transport::kThread;
+  if (s == "mpi") return Transport::kMpi;
+  throw std::invalid_argument("unknown transport '" + s + "' (expected seq | thread | mpi)");
+}
+
+std::string transportName(Transport t) {
+  switch (t) {
+    case Transport::kSeq: return "seq";
+    case Transport::kThread: return "thread";
+    case Transport::kMpi: return "mpi";
+  }
+  return "?";
+}
+
 SeqComm::SeqComm(int_t ranks) : Communicator(ranks) {}
 
 void SeqComm::send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) {
   bytes_ += data.size();
+  ++messages_;
   box_[{from, to, tag}].push(std::move(data));
 }
 
@@ -26,6 +43,7 @@ void ThreadComm::send(int_t from, int_t to, std::int64_t tag, std::vector<std::u
   {
     std::lock_guard<std::mutex> lock(mutex_);
     bytes_ += data.size();
+    ++messages_;
     box_[{from, to, tag}].push(std::move(data));
   }
   cv_.notify_all();
@@ -45,8 +63,13 @@ std::vector<std::uint8_t> ThreadComm::recv(int_t to, int_t from, std::int64_t ta
 }
 
 std::uint64_t ThreadComm::bytesSent() const {
-  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mutex_));
+  std::lock_guard<std::mutex> lock(mutex_);
   return bytes_;
+}
+
+std::uint64_t ThreadComm::messagesSent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_;
 }
 
 } // namespace nglts::parallel

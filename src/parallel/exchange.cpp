@@ -2,9 +2,12 @@
 // engine (see dist_sim.hpp). This file owns the glue the engine does not:
 // per-rank construction over halo views, the send/receive protocol packing
 // (raw 9 x B vs face-local 9 x F, trimmed derivative stacks for the baseline
-// scheme) interleaved between schedule ops, and the SeqComm lockstep /
-// ThreadComm per-rank-thread drivers. The element stepping itself is the
-// shared `StepExecutor` — there is no duplicated update loop here.
+// scheme) interleaved between schedule ops, and the run drivers — SeqComm
+// lockstep, ThreadComm per-rank threads, and the MpiComm one-process-per-
+// rank mode where only the local rank's engine is built. The element
+// stepping itself is the shared `StepExecutor` — there is no duplicated
+// update loop here; the overlap mode only re-partitions each op's element
+// range into boundary/interior subset calls around the same exchange.
 #include "parallel/dist_sim.hpp"
 
 #include <algorithm>
@@ -38,6 +41,24 @@ void readReals(const std::vector<std::uint8_t>& raw, std::size_t& off, Real* p,
   off += n * sizeof(Real);
 }
 
+void appendU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  appendReals(out, &v, 1);
+}
+
+std::uint64_t readU64(const std::vector<std::uint8_t>& raw, std::size_t& off) {
+  std::uint64_t v = 0;
+  readReals(raw, off, &v, 1);
+  return v;
+}
+
+/// Sorted unique copy of `v` — the boundary element lists of the overlap
+/// split (an element can produce/consume on several halo faces).
+std::vector<idx_t> sortedUnique(std::vector<idx_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
 } // namespace
 
 /// Per-rank engine: halo view, arena, hook, executor, ghost slots and the
@@ -61,7 +82,15 @@ struct DistributedSimulation<Real, W>::Rank {
   };
   std::vector<std::vector<SendOp>> sendByCluster;
   std::vector<std::vector<idx_t>> recvByCluster; ///< ghost slot ids
-  std::uint64_t messages = 0;
+
+  // Overlap split (stepOpOverlap): per cluster, the owned elements with at
+  // least one cross-rank face — each such element both produces for and
+  // consumes from its remote neighbor through that face, so one set serves
+  // both phases — and the interior complement. Their union is exactly the
+  // cluster's owned range, so subset stepping is bitwise-identical to the
+  // unsplit op.
+  std::vector<std::vector<idx_t>> haloBound; ///< internal ids, sorted unique
+  std::vector<std::vector<idx_t>> interior;  ///< cluster range \ haloBound
 
   // Serial packing staging (one producer face at a time).
   aligned_vector<Real> combo, face0, face1;
@@ -115,13 +144,27 @@ DistributedSimulation<Real, W>::DistributedSimulation(mesh::TetMesh mesh,
       cfg_.sim.order, cfg_.sim.mechanisms, cfg_.sim.sparseKernels, omega,
       cfg_.sim.kernelBackend);
 
-  if (cfg_.threaded)
-    comm_ = std::make_unique<ThreadComm>(numRanks_);
-  else
-    comm_ = std::make_unique<SeqComm>(numRanks_);
+  transport_ = cfg_.transport;
+  if (cfg_.threaded && transport_ == Transport::kSeq) transport_ = Transport::kThread;
 
-  ranks_.reserve(numRanks_);
-  for (int_t r = 0; r < numRanks_; ++r) buildRank(r);
+  if (cfg_.commFactory) {
+    comm_ = cfg_.commFactory(numRanks_);
+    if (!comm_) throw std::invalid_argument("DistributedSimulation: commFactory returned null");
+  } else {
+    switch (transport_) {
+      case Transport::kSeq: comm_ = std::make_unique<SeqComm>(numRanks_); break;
+      case Transport::kThread: comm_ = std::make_unique<ThreadComm>(numRanks_); break;
+      case Transport::kMpi: comm_ = makeMpiComm(numRanks_); break;
+    }
+  }
+
+  // In-process communicators serve every rank (selfRank -1); MpiComm speaks
+  // for exactly one, and only that rank's engine is built in this process.
+  localRank_ = comm_->selfRank();
+  rankReceiverCount_.assign(numRanks_, 0);
+  ranks_.resize(numRanks_);
+  for (int_t r = 0; r < numRanks_; ++r)
+    if (localRank_ < 0 || r == localRank_) buildRank(r);
 }
 
 template <typename Real, int W>
@@ -201,6 +244,24 @@ void DistributedSimulation<Real, W>::buildRank(int_t r) {
   rank->face0.assign(faceN, Real(0));
   rank->face1.assign(faceN, Real(0));
 
+  // Boundary/interior split lists for the overlap mode.
+  rank->haloBound.assign(nc, {});
+  rank->interior.assign(nc, {});
+  for (int_t c = 0; c < nc; ++c) {
+    std::vector<idx_t> bound;
+    for (const typename Rank::SendOp& op : rank->sendByCluster[c]) bound.push_back(op.el);
+    rank->haloBound[c] = sortedUnique(std::move(bound));
+    const std::vector<idx_t>& b = rank->haloBound[c];
+    auto addInterior = [&](idx_t el) {
+      if (!std::binary_search(b.begin(), b.end(), el)) rank->interior[c].push_back(el);
+    };
+    if (state.contiguousClusters()) {
+      for (idx_t el = state.clusterBegin(c); el < state.clusterEnd(c); ++el) addInterior(el);
+    } else {
+      for (idx_t el : state.clusterElems(c)) addInterior(el);
+    }
+  }
+
   auto inner = solver::makeNeighborDataPolicy<Real, W>(cfg_.sim, *rank->state, *kernels_,
                                                        clustering_.clusterDt);
   auto policy = std::make_unique<HaloNeighborData<Real, W>>(
@@ -209,14 +270,25 @@ void DistributedSimulation<Real, W>::buildRank(int_t r) {
   rank->exec = std::make_unique<solver::StepExecutor<Real, W>>(
       cfg_.sim, *kernels_, *rank->state, view.clustering, schedule_, rank->hook.get(),
       std::move(policy));
-  ranks_.push_back(std::move(rank));
+  ranks_[r] = std::move(rank);
+}
+
+template <typename Real, int W>
+typename DistributedSimulation<Real, W>::Rank& DistributedSimulation<Real, W>::ownedRank(
+    int_t r) const {
+  if (!ranks_[r])
+    throw std::runtime_error("DistributedSimulation: rank " + std::to_string(r) +
+                             " lives in another MPI process (this is rank " +
+                             std::to_string(localRank_) + ")");
+  return *ranks_[r];
 }
 
 template <typename Real, int W>
 void DistributedSimulation<Real, W>::setInitialCondition(const InitFn& f) {
   for (auto& rank : ranks_)
-    solver::projectInitialCondition(*kernels_, rank->view.mesh, rank->view.geo, f,
-                                    *rank->state, rank->view.numOwned);
+    if (rank)
+      solver::projectInitialCondition(*kernels_, rank->view.mesh, rank->view.geo, f,
+                                      *rank->state, rank->view.numOwned);
 }
 
 template <typename Real, int W>
@@ -224,6 +296,7 @@ void DistributedSimulation<Real, W>::addPointSource(const seismo::PointSource& s
                                                     std::vector<double> laneScale) {
   const idx_t el = mesh::locatePoint(mesh_, geo_, src.position);
   if (el < 0) throw std::runtime_error("addPointSource: source outside the mesh");
+  if (!ownsRank(part_[el])) return; // another MPI process owns this element
   Rank& rank = *ranks_[part_[el]];
   rank.hook->addPointSource(rank.view.globalToLocal[el], src, std::move(laneScale));
 }
@@ -232,9 +305,19 @@ template <typename Real, int W>
 idx_t DistributedSimulation<Real, W>::addReceiver(const std::array<double, 3>& position) {
   const idx_t el = mesh::locatePoint(mesh_, geo_, position);
   if (el < 0) return -1;
-  Rank& rank = *ranks_[part_[el]];
-  const idx_t local = rank.hook->addReceiver(rank.view.globalToLocal[el], position);
-  receiverHome_.emplace_back(part_[el], local);
+  // Local index assignment must be deterministic across MPI processes (the
+  // owning one binds the receiver; the others only record where it lives),
+  // so it is the per-rank registration count, which the hook's own index
+  // matches because receivers are only ever added through this path.
+  const int_t home = part_[el];
+  const idx_t local = rankReceiverCount_[home]++;
+  if (ownsRank(home)) {
+    Rank& rank = *ranks_[home];
+    const idx_t bound = rank.hook->addReceiver(rank.view.globalToLocal[el], position);
+    if (bound != local)
+      throw std::logic_error("addReceiver: rank-local index drifted from the global count");
+  }
+  receiverHome_.emplace_back(home, local);
   return static_cast<idx_t>(receiverHome_.size()) - 1;
 }
 
@@ -244,12 +327,60 @@ const seismo::Receiver& DistributedSimulation<Real, W>::receiver(idx_t i) const 
     throw std::out_of_range("receiver: index " + std::to_string(i) + " out of range (have " +
                             std::to_string(receiverHome_.size()) + ")");
   const auto& [rank, local] = receiverHome_[i];
-  return ranks_[rank]->hook->receiver(local);
+  if (ownsRank(rank)) return ranks_[rank]->hook->receiver(local);
+  auto it = gathered_.find(i);
+  if (it == gathered_.end())
+    throw std::runtime_error("receiver: index " + std::to_string(i) + " lives on MPI rank " +
+                             std::to_string(rank) +
+                             " — call gatherReceivers() after run() and read it on rank 0");
+  return it->second;
+}
+
+// Receiver traces cross process boundaries exactly once, after the run, on
+// reserved negative tags (the halo protocol only uses tags >= 0). Payload:
+// position, lane count, then per lane the sample count, times, and the
+// 9-quantity sample rows.
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::gatherReceivers() {
+  if (localRank_ < 0) return; // in-process: every trace is already local
+  for (idx_t i = 0; i < static_cast<idx_t>(receiverHome_.size()); ++i) {
+    const auto& [home, local] = receiverHome_[i];
+    if (home == 0) continue; // already on the root
+    const std::int64_t tag = -(static_cast<std::int64_t>(i) + 1);
+    if (home == localRank_) {
+      const seismo::Receiver& rec = ranks_[home]->hook->receiver(local);
+      std::vector<std::uint8_t> payload;
+      appendReals(payload, rec.position.data(), 3);
+      appendU64(payload, rec.traces.size());
+      for (const seismo::Seismogram& s : rec.traces) {
+        appendU64(payload, s.size());
+        appendReals(payload, s.times.data(), s.size());
+        for (const auto& row : s.values) appendReals(payload, row.data(), kElasticVars);
+      }
+      comm_->send(localRank_, 0, tag, std::move(payload));
+    } else if (localRank_ == 0) {
+      const std::vector<std::uint8_t> raw = comm_->recv(0, home, tag);
+      std::size_t off = 0;
+      seismo::Receiver rec;
+      readReals(raw, off, rec.position.data(), 3);
+      rec.traces.resize(readU64(raw, off));
+      for (seismo::Seismogram& s : rec.traces) {
+        const std::uint64_t n = readU64(raw, off);
+        s.times.resize(n);
+        readReals(raw, off, s.times.data(), n);
+        s.values.resize(n);
+        for (auto& row : s.values) readReals(raw, off, row.data(), kElasticVars);
+      }
+      if (off != raw.size())
+        throw std::runtime_error("gatherReceivers: unexpected trace payload size");
+      gathered_[i] = std::move(rec);
+    }
+  }
 }
 
 template <typename Real, int W>
 const Real* DistributedSimulation<Real, W>::dofs(idx_t element) const {
-  const Rank& rank = *ranks_[part_[element]];
+  const Rank& rank = ownedRank(part_[element]);
   return rank.state->q(rank.state->toInternal(rank.view.globalToLocal[element]));
 }
 
@@ -316,7 +447,6 @@ void DistributedSimulation<Real, W>::packAndSend(Rank& rank, int_t cluster) {
       }
     }
     comm_->send(rank.id, op.dstRank, op.tag, std::move(payload));
-    ++rank.messages;
   }
 }
 
@@ -358,6 +488,10 @@ void DistributedSimulation<Real, W>::receiveHalo(Rank& rank, int_t cluster) {
 
 template <typename Real, int W>
 void DistributedSimulation<Real, W>::stepOp(Rank& rank, const lts::ScheduleOp& op) {
+  if (cfg_.overlap) {
+    stepOpOverlap(rank, op);
+    return;
+  }
   if (op.kind == lts::PhaseKind::kLocal) {
     rank.exec->runOp(op);
     packAndSend(rank, op.cluster);
@@ -367,25 +501,60 @@ void DistributedSimulation<Real, W>::stepOp(Rank& rank, const lts::ScheduleOp& o
   }
 }
 
+// The overlapped exchange. Correctness rests on three facts: (1) packAndSend
+// reads only the boundary producers' buffers, all written by the time the
+// boundary subset ran; (2) interior consumers read no ghost slot, so they
+// may run before the receives; (3) the executor's step counter advances only
+// on the final subset call, so the sub-step parity seen by packAndSend /
+// receiveHalo / the element kernels is identical to lockstep. Send and
+// receive calls keep their per-(src,dst,tag) order, so the payload *values*
+// on the wire are exactly the lockstep ones — bitwise identity follows.
+template <typename Real, int W>
+void DistributedSimulation<Real, W>::stepOpOverlap(Rank& rank, const lts::ScheduleOp& op) {
+  const int_t c = op.cluster;
+  if (op.kind == lts::PhaseKind::kLocal) {
+    // Boundary producers first: their payloads enter the network before the
+    // interior bulk computes.
+    rank.exec->runOp(op, rank.haloBound[c], false);
+    packAndSend(rank, c);
+    rank.exec->runOp(op, rank.interior[c], false);
+  } else {
+    // Interior consumers overlap with the in-flight exchange; only the
+    // boundary subset waits on what has not yet arrived.
+    rank.exec->runOp(op, rank.interior[c], false);
+    comm_->pollInbox(rank.id);
+    receiveHalo(rank, c);
+    rank.exec->runOp(op, rank.haloBound[c], true);
+  }
+}
+
 template <typename Real, int W>
 DistStats DistributedSimulation<Real, W>::run(double endTime) {
   DistStats stats;
   const double dtCycle = cycleDt();
   const std::uint64_t cycles = static_cast<std::uint64_t>(std::ceil(endTime / dtCycle - 1e-9));
+  // Per-run deltas of the communicator-owned counters. Under MPI these are
+  // process-local and reduced below; in-process they are already global and
+  // allreduceSum is the identity.
   const std::uint64_t bytes0 = comm_->bytesSent();
-  std::uint64_t msg0 = 0;
-  for (auto& rank : ranks_) {
-    msg0 += rank->messages;
-    rank->exec->drainFlops(); // reset counters for this run
-  }
+  const std::uint64_t msg0 = comm_->messagesSent();
+  for (auto& rank : ranks_)
+    if (rank) rank->exec->drainFlops(); // reset counters for this run
 
   std::uint64_t updatesPerCycle = 0;
   for (int_t l = 0; l < clustering_.numClusters; ++l)
     updatesPerCycle +=
         clustering_.clusterSize[l] * lts::stepsPerCycle(clustering_.numClusters, l);
 
+  comm_->barrier(); // MPI: don't time another process's setup
   Timer timer;
-  if (!cfg_.threaded) {
+  if (localRank_ >= 0) {
+    // MPI: this process drives exactly one rank; the exchange itself is the
+    // cross-process synchronization.
+    Rank& rank = *ranks_[localRank_];
+    for (std::uint64_t c = 0; c < cycles; ++c)
+      for (const lts::ScheduleOp& op : schedule_) stepOp(rank, op);
+  } else if (transport_ == Transport::kSeq) {
     // Deterministic lockstep: all ranks execute schedule op i before any
     // rank starts op i+1 — every SeqComm receive then finds its message
     // (the schedule's write-before-read guarantee, applied across ranks).
@@ -411,24 +580,27 @@ DistStats DistributedSimulation<Real, W>::run(double endTime) {
     }
     for (auto& t : threads) t.join();
   }
+  comm_->barrier(); // MPI: every rank finished before anyone reads stats
   stats.seconds = timer.seconds();
   stats.cycles = cycles;
   stats.simulatedTime = cycles * dtCycle;
   stats.elementUpdates = cycles * updatesPerCycle;
-  for (auto& rank : ranks_) {
-    stats.flops += rank->exec->drainFlops();
-    stats.messages += rank->messages;
-  }
-  stats.messages -= msg0;
-  stats.commBytes = comm_->bytesSent() - bytes0;
+  std::uint64_t flops = 0;
+  for (auto& rank : ranks_)
+    if (rank) flops += rank->exec->drainFlops();
+  stats.flops = comm_->allreduceSum(flops);
+  stats.messages = comm_->allreduceSum(comm_->messagesSent() - msg0);
+  stats.commBytes = comm_->allreduceSum(comm_->bytesSent() - bytes0);
   return stats;
 }
 
 template class DistributedSimulation<float, 1>;
 template class DistributedSimulation<float, 2>;
+template class DistributedSimulation<float, 4>;
 template class DistributedSimulation<float, 8>;
 template class DistributedSimulation<float, 16>;
 template class DistributedSimulation<double, 1>;
 template class DistributedSimulation<double, 2>;
+template class DistributedSimulation<double, 4>;
 
 } // namespace nglts::parallel

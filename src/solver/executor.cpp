@@ -158,6 +158,15 @@ void StepExecutor<Real, W>::parallelElements(int_t cluster, Fn&& fn) {
 }
 
 template <typename Real, int W>
+template <typename Fn>
+void StepExecutor<Real, W>::parallelElementList(const std::vector<idx_t>& elems, Fn&& fn) {
+  forEachChunk(nThreads_, [&](int_t t) {
+    const ChunkRange c = staticChunk(0, static_cast<idx_t>(elems.size()), nThreads_, t);
+    for (idx_t i = c.begin; i < c.end; ++i) fn(elems[i], t);
+  });
+}
+
+template <typename Real, int W>
 void StepExecutor<Real, W>::localElement(idx_t el, double dt, double t0, bool odd, int_t tid) {
   auto& w = pool_[tid];
   auto& s = w.scratch;
@@ -225,6 +234,24 @@ void StepExecutor<Real, W>::runOp(const lts::ScheduleOp& op) {
 }
 
 template <typename Real, int W>
+void StepExecutor<Real, W>::runOp(const lts::ScheduleOp& op, const std::vector<idx_t>& elems,
+                                  bool completesOp) {
+  const int_t cluster = op.cluster;
+  if (op.kind == lts::PhaseKind::kLocal) {
+    const double dt = clusterDt_[cluster];
+    const idx_t step = clusterStep_[cluster];
+    const bool odd = (step % 2) != 0;
+    const double t0 = step * dt;
+    parallelElementList(elems,
+                        [&](idx_t el, int_t tid) { localElement(el, dt, t0, odd, tid); });
+  } else {
+    const idx_t step = clusterStep_[cluster];
+    parallelElementList(elems, [&](idx_t el, int_t tid) { neighborElement(el, step, tid); });
+    if (completesOp) ++clusterStep_[cluster];
+  }
+}
+
+template <typename Real, int W>
 void StepExecutor<Real, W>::runCycle() {
   for (const lts::ScheduleOp& op : schedule_) runOp(op);
 }
@@ -257,6 +284,9 @@ template std::unique_ptr<NeighborDataPolicy<float, 1>> makeNeighborDataPolicy(
     const std::vector<double>&);
 template std::unique_ptr<NeighborDataPolicy<float, 2>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<float, 2>&, const kernels::AderKernels<float, 2>&,
+    const std::vector<double>&);
+template std::unique_ptr<NeighborDataPolicy<float, 4>> makeNeighborDataPolicy(
+    const SimConfig&, const SolverState<float, 4>&, const kernels::AderKernels<float, 4>&,
     const std::vector<double>&);
 template std::unique_ptr<NeighborDataPolicy<float, 8>> makeNeighborDataPolicy(
     const SimConfig&, const SolverState<float, 8>&, const kernels::AderKernels<float, 8>&,

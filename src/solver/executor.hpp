@@ -114,6 +114,19 @@ class StepExecutor {
   /// halo sends/receives between ops. `runCycle()` is a loop over these.
   void runOp(const lts::ScheduleOp& op);
 
+  /// Execute `op` over only `elems` (internal ids, all inside the op's
+  /// cluster) — the distributed overlap path splits an op into a
+  /// halo-boundary subset and an interior subset so communication can
+  /// proceed during the interior compute. Element updates within one op are
+  /// independent (each writes only its own data; hooks are element-owned),
+  /// so any partition of the op's range into subset calls is
+  /// bitwise-identical to one full-range `runOp`. For kNeighbor ops the
+  /// cluster step counter advances only when `completesOp` is true — pass
+  /// it on the op's final subset; the sub-step parity read by halo packing
+  /// must not move until every element of the op has run. Ignored for
+  /// kLocal ops (the local phase never advances the counter).
+  void runOp(const lts::ScheduleOp& op, const std::vector<idx_t>& elems, bool completesOp);
+
   idx_t clusterStep(int_t cluster) const { return clusterStep_[cluster]; }
   /// All per-cluster step counters — the executor's schedule position
   /// (serialized by batch/checkpoint.*).
@@ -138,6 +151,9 @@ class StepExecutor {
   /// chunks (contiguous range or index-list fallback, see threading.hpp).
   template <typename Fn>
   void parallelElements(int_t cluster, Fn&& fn);
+  /// Same chunking over an explicit element list (the subset `runOp`).
+  template <typename Fn>
+  void parallelElementList(const std::vector<idx_t>& elems, Fn&& fn);
 
   const kernels::AderKernels<Real, W>& kernels_;
   SolverState<Real, W>& state_;

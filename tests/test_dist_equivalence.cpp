@@ -1,11 +1,15 @@
 // Equivalence suite of the distributed path on the layered engine
-// (ISSUE 3 headline): for every scheme {gts, lts, baseline} x rank count
-// {1, 2, 4} x fused width {1, 2}, the SeqComm distributed run must be
-// *bitwise identical* to the single-rank `Simulation` — seismograms and
-// DOFs — and the raw 9 x B payloads must agree with the compressed 9 x F
-// payloads to round-off. The distributed engine runs the same kernels over
-// the same schedule with the same neighbor values, so no tolerance is
-// needed against the reference; any drift is a protocol bug.
+// (ISSUE 3 headline, extended by ISSUE 8): for every scheme {gts, lts,
+// baseline} x rank count {1, 2, 4} x fused width {1, 2, 4} x exchange mode
+// {lockstep, overlapped}, the distributed run must be *bitwise identical*
+// to the single-rank `Simulation` — seismograms and DOFs — and the raw
+// 9 x B payloads must agree with the compressed 9 x F payloads to
+// round-off. The distributed engine runs the same kernels over the same
+// schedule with the same neighbor values, so no tolerance is needed
+// against the reference; any drift is a protocol bug. The overlapped
+// exchange splits each cluster op into halo-boundary and interior subsets
+// (src/parallel/exchange.cpp) — identical element updates in a different
+// issue order, so it must stay bitwise too.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -107,33 +111,39 @@ void expectBitwiseSeismograms(const SimA& a, const SimB& b, int_t lanes) {
   }
 }
 
-/// Reference vs distributed SeqComm, compressed payloads: bitwise.
-template <int W>
-void runEquivalence(ns::TimeScheme scheme, int_t nRanks, int_t mechanisms) {
+/// Reference vs distributed run, compressed payloads: bitwise. Templated
+/// on the arithmetic type so the W=4 instantiations are covered in both
+/// precisions (ISSUE 8 satellite), and parameterized on transport and
+/// exchange mode so the overlapped path is held to the same bitwise gate
+/// as the lockstep reference.
+template <typename Real, int W>
+void runEquivalence(ns::TimeScheme scheme, int_t nRanks, int_t mechanisms,
+                    npar::Transport transport = npar::Transport::kSeq, bool overlap = false) {
   const double tEnd = 0.2;
   Fixture f = makeFixture(mechanisms);
   const ns::SimConfig cfg = makeCfg(scheme, mechanisms);
 
-  ns::Simulation<double, W> ref(f.mesh, f.mats, cfg);
-  addSetup<ns::Simulation<double, W>, W>(ref);
+  ns::Simulation<Real, W> ref(f.mesh, f.mats, cfg);
+  addSetup<ns::Simulation<Real, W>, W>(ref);
   ref.setInitialCondition(initWave);
   ref.run(tEnd);
 
   npar::DistConfig dcfg;
   dcfg.sim = cfg;
   dcfg.compressFaces = true;
-  dcfg.threaded = false;
-  npar::DistributedSimulation<double, W> dist(f.mesh, f.mats, stripePartition(f.mesh, nRanks),
-                                              dcfg);
+  dcfg.transport = transport;
+  dcfg.overlap = overlap;
+  npar::DistributedSimulation<Real, W> dist(f.mesh, f.mats, stripePartition(f.mesh, nRanks),
+                                            dcfg);
   ASSERT_EQ(dist.ranks(), nRanks);
-  addSetup<npar::DistributedSimulation<double, W>, W>(dist);
+  addSetup<npar::DistributedSimulation<Real, W>, W>(dist);
   dist.setInitialCondition(initWave);
   dist.run(tEnd);
 
   expectBitwiseSeismograms(ref, dist, W);
   for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
-    const double* a = ref.dofs(e);
-    const double* b = dist.dofs(e);
+    const Real* a = ref.dofs(e);
+    const Real* b = dist.dofs(e);
     for (std::size_t i = 0; i < ref.kernels().dofsPerElement(); ++i)
       ASSERT_EQ(a[i], b[i]) << "element " << e << " dof " << i;
   }
@@ -146,12 +156,21 @@ class DistEquivalence
 
 TEST_P(DistEquivalence, BitwiseVsSingleRank) {
   const auto [scheme, ranks] = GetParam();
-  runEquivalence<1>(scheme, ranks, /*mechanisms=*/0);
+  runEquivalence<double, 1>(scheme, ranks, /*mechanisms=*/0);
 }
 
 TEST_P(DistEquivalence, BitwiseVsSingleRankFusedW2) {
   const auto [scheme, ranks] = GetParam();
-  runEquivalence<2>(scheme, ranks, /*mechanisms=*/0);
+  runEquivalence<double, 2>(scheme, ranks, /*mechanisms=*/0);
+}
+
+TEST_P(DistEquivalence, OverlapBitwiseVsSingleRank) {
+  // Overlapped exchange (boundary compute -> send -> interior compute /
+  // interior compute -> recv -> boundary compute) against the plain
+  // single-rank solver: the split issue order must not change one bit.
+  const auto [scheme, ranks] = GetParam();
+  runEquivalence<double, 1>(scheme, ranks, /*mechanisms=*/0, npar::Transport::kSeq,
+                            /*overlap=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -168,7 +187,39 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(DistEquivalenceExtra, AnelasticBitwiseVsSingleRank) {
-  runEquivalence<1>(ns::TimeScheme::kLtsNextGen, 2, /*mechanisms=*/3);
+  runEquivalence<double, 1>(ns::TimeScheme::kLtsNextGen, 2, /*mechanisms=*/3);
+}
+
+// ISSUE 8 satellite: the W=4 explicit instantiations were missing from the
+// distributed layer even though the executor, policies and `Simulation`
+// all carry them — these two tests pin the full W=4 path (both precisions)
+// to the single-rank reference so the gap cannot reopen.
+TEST(DistEquivalenceExtra, FusedW4DoubleBitwiseVsSingleRank) {
+  runEquivalence<double, 4>(ns::TimeScheme::kLtsNextGen, 2, /*mechanisms=*/0);
+}
+
+TEST(DistEquivalenceExtra, FusedW4FloatBitwiseVsSingleRank) {
+  runEquivalence<float, 4>(ns::TimeScheme::kLtsNextGen, 2, /*mechanisms=*/0);
+}
+
+TEST(DistEquivalenceExtra, FusedW4FloatOverlapBitwiseVsSingleRank) {
+  runEquivalence<float, 4>(ns::TimeScheme::kLtsNextGen, 4, /*mechanisms=*/0,
+                           npar::Transport::kSeq, /*overlap=*/true);
+}
+
+TEST(DistEquivalenceExtra, AnelasticOverlapThreadTransportBitwise) {
+  // The hardest protocol combination: anelastic payload extension + thread
+  // transport + overlapped exchange, still bitwise against the single-rank
+  // solver.
+  runEquivalence<double, 1>(ns::TimeScheme::kLtsNextGen, 4, /*mechanisms=*/3,
+                            npar::Transport::kThread, /*overlap=*/true);
+}
+
+TEST(DistEquivalenceExtra, BaselineOverlapThreadTransportBitwise) {
+  // The baseline scheme ships trimmed derivative stacks instead of buffers;
+  // its overlapped thread-transport run must hit the same bitwise gate.
+  runEquivalence<double, 1>(ns::TimeScheme::kLtsBaseline, 4, /*mechanisms=*/0,
+                            npar::Transport::kThread, /*overlap=*/true);
 }
 
 TEST(DistEquivalenceExtra, IndexListLayoutBitwiseVsContiguous) {

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <thread>
+#include <tuple>
 
 #include "mesh/box_gen.hpp"
 #include "parallel/comm.hpp"
@@ -26,6 +33,34 @@ TEST(Comm, SeqFifoOrder) {
   EXPECT_EQ(c.recv(1, 0, 7)[0], 1);
   EXPECT_EQ(c.recv(1, 0, 7)[0], 2);
   EXPECT_EQ(c.bytesSent(), 2u);
+  EXPECT_EQ(c.messagesSent(), 2u);
+}
+
+TEST(Comm, ParseTransportRoundTrip) {
+  EXPECT_EQ(npar::parseTransport("seq"), npar::Transport::kSeq);
+  EXPECT_EQ(npar::parseTransport("thread"), npar::Transport::kThread);
+  EXPECT_EQ(npar::parseTransport("mpi"), npar::Transport::kMpi);
+  EXPECT_THROW(npar::parseTransport("tcp"), std::invalid_argument);
+  EXPECT_EQ(npar::transportName(npar::Transport::kSeq), "seq");
+  EXPECT_EQ(npar::transportName(npar::Transport::kThread), "thread");
+  EXPECT_EQ(npar::transportName(npar::Transport::kMpi), "mpi");
+}
+
+TEST(Comm, MpiStubSingleProcessSemantics) {
+  // Without NGLTS_WITH_MPI the stub must behave like a one-process world
+  // (so root-only output guards stay transport-agnostic) and creating the
+  // communicator must fail loudly, naming the CMake switch.
+  if (npar::mpiSupport()) GTEST_SKIP() << "built with real MPI";
+  npar::mpiInit(nullptr, nullptr); // documented no-op
+  EXPECT_EQ(npar::mpiWorldRank(), 0);
+  EXPECT_EQ(npar::mpiWorldSize(), 1);
+  try {
+    npar::makeMpiComm(1);
+    FAIL() << "stub makeMpiComm must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("NGLTS_WITH_MPI"), std::string::npos) << e.what();
+  }
+  npar::mpiFinalize(); // documented no-op
 }
 
 TEST(Comm, SeqMissingMessageThrows) {
@@ -62,6 +97,7 @@ TEST(Comm, ThreadFifoStressManyRanksSmallMessages) {
   const std::int64_t tags[] = {0, 7, 11};
   npar::ThreadComm comm(ranks);
   std::atomic<std::uint64_t> sentBytes{0};
+  std::atomic<std::uint64_t> sentMessages{0};
   std::atomic<int> fifoViolations{0};
 
   std::vector<std::thread> threads;
@@ -79,6 +115,7 @@ TEST(Comm, ThreadFifoStressManyRanksSmallMessages) {
                                           static_cast<std::uint8_t>(r));
             msg[0] = static_cast<std::uint8_t>(k); // sequence number
             sentBytes += msg.size();
+            ++sentMessages;
             comm.send(r, dst, tag, std::move(msg));
             for (unsigned y = rng() % 4; y > 0; --y) std::this_thread::yield();
           }
@@ -98,6 +135,7 @@ TEST(Comm, ThreadFifoStressManyRanksSmallMessages) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(fifoViolations.load(), 0);
   EXPECT_EQ(comm.bytesSent(), sentBytes.load());
+  EXPECT_EQ(comm.messagesSent(), sentMessages.load());
 }
 
 namespace {
@@ -152,11 +190,12 @@ npar::DistConfig makeDistConfig(bool compress = true, bool threaded = false) {
 template <typename Real>
 std::vector<Real> runDistributed(int_t ranks, bool compress, bool threaded,
                                  std::uint64_t* bytes = nullptr,
-                                 std::uint64_t* messages = nullptr) {
+                                 std::uint64_t* messages = nullptr, bool overlap = false) {
   DistFixture f = makeFixture();
   const auto part = stripePartition(f.mesh, ranks, 1000.0);
-  npar::DistributedSimulation<Real, 1> sim(f.mesh, f.mats, part,
-                                           makeDistConfig(compress, threaded));
+  npar::DistConfig cfg = makeDistConfig(compress, threaded);
+  cfg.overlap = overlap;
+  npar::DistributedSimulation<Real, 1> sim(f.mesh, f.mats, part, cfg);
   sim.setInitialCondition(
       [](const std::array<double, 3>& x, int_t, double* q9) { initWave(450.0, x, q9); });
   const auto st = sim.run(0.3);
@@ -169,6 +208,63 @@ std::vector<Real> runDistributed(int_t ranks, bool compress, bool threaded,
   }
   return out;
 }
+
+// Adversarial wrapper around ThreadComm, injected through
+// DistConfig::commFactory: every send carries a per-channel sequence number
+// and is forwarded only after a pseudo-random backoff, shuffling the global
+// interleaving the overlapped exchange observes; every recv verifies its
+// channel's sequence number. Zero violations means the engine relies only
+// on the per-(src, dst, tag) FIFO the Communicator contract guarantees,
+// never on cross-channel ordering or send/compute timing.
+class JitterComm final : public npar::Communicator {
+ public:
+  explicit JitterComm(int_t ranks) : Communicator(ranks), inner_(ranks) {}
+
+  void send(int_t from, int_t to, std::int64_t tag, std::vector<std::uint8_t> data) override {
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seq = nextSend_[std::make_tuple(from, to, tag)]++;
+    }
+    std::vector<std::uint8_t> framed(8 + data.size());
+    for (int b = 0; b < 8; ++b) framed[b] = static_cast<std::uint8_t>(seq >> (8 * b));
+    std::copy(data.begin(), data.end(), framed.begin() + 8);
+    // Delay the forward by a payload-dependent amount. Per-channel order is
+    // still FIFO (each rank sends from one thread), but the global
+    // interleaving across channels and against compute is scrambled.
+    std::uint64_t h = (seq * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(tag);
+    h ^= h >> 33;
+    for (unsigned y = static_cast<unsigned>(h % 5); y > 0; --y) std::this_thread::yield();
+    if (h % 7 == 0) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    inner_.send(from, to, tag, std::move(framed));
+  }
+
+  std::vector<std::uint8_t> recv(int_t to, int_t from, std::int64_t tag) override {
+    auto framed = inner_.recv(to, from, tag);
+    if (framed.size() < 8) {
+      ++violations_;
+      return framed;
+    }
+    std::uint64_t seq = 0;
+    for (int b = 0; b < 8; ++b) seq |= static_cast<std::uint64_t>(framed[b]) << (8 * b);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (seq != nextRecv_[std::make_tuple(from, to, tag)]++) ++violations_;
+    }
+    return std::vector<std::uint8_t>(framed.begin() + 8, framed.end());
+  }
+
+  std::uint64_t bytesSent() const override { return inner_.bytesSent(); }
+  std::uint64_t messagesSent() const override { return inner_.messagesSent(); }
+  int violations() const { return violations_.load(); }
+
+ private:
+  npar::ThreadComm inner_;
+  std::mutex mutex_;
+  std::map<std::tuple<int_t, int_t, std::int64_t>, std::uint64_t> nextSend_;
+  std::map<std::tuple<int_t, int_t, std::int64_t>, std::uint64_t> nextRecv_;
+  std::atomic<int> violations_{0};
+};
 
 } // namespace
 
@@ -222,6 +318,65 @@ TEST(DistributedSim, ThreadedMatchesSequential) {
   const auto thr = runDistributed<double>(4, true, true);
   ASSERT_EQ(seq.size(), thr.size());
   for (std::size_t i = 0; i < seq.size(); ++i) ASSERT_EQ(seq[i], thr[i]) << "dof " << i;
+}
+
+TEST(DistributedSim, OverlapSendsSameMessagesAsLockstep) {
+  // The overlapped exchange reorders compute against communication but
+  // must post exactly the same messages and bytes on the same channels.
+  std::uint64_t bytesLock = 0, msgLock = 0, bytesOv = 0, msgOv = 0;
+  const auto lock = runDistributed<double>(4, true, false, &bytesLock, &msgLock);
+  const auto ov = runDistributed<double>(4, true, false, &bytesOv, &msgOv, /*overlap=*/true);
+  EXPECT_EQ(bytesLock, bytesOv);
+  EXPECT_EQ(msgLock, msgOv);
+  EXPECT_GT(msgLock, 0u);
+  ASSERT_EQ(lock.size(), ov.size());
+  for (std::size_t i = 0; i < lock.size(); ++i) ASSERT_EQ(lock[i], ov[i]) << "dof " << i;
+}
+
+TEST(DistributedSim, OverlapSurvivesAdversarialMessageTiming) {
+  // ISSUE 8 stress gate: run the overlapped thread-transport engine over a
+  // JitterComm that delays sends and scrambles the cross-channel
+  // interleaving, assert zero per-channel FIFO violations, and require the
+  // DOFs to stay bitwise equal to the SeqComm lockstep run.
+  const auto lock = runDistributed<double>(4, true, false);
+
+  DistFixture f = makeFixture();
+  const auto part = stripePartition(f.mesh, 4, 1000.0);
+  npar::DistConfig cfg = makeDistConfig();
+  cfg.transport = npar::Transport::kThread;
+  cfg.overlap = true;
+  JitterComm* probe = nullptr;
+  cfg.commFactory = [&probe](int_t ranks) {
+    auto comm = std::make_unique<JitterComm>(ranks);
+    probe = comm.get();
+    return comm;
+  };
+  npar::DistributedSimulation<double, 1> sim(f.mesh, f.mats, part, cfg);
+  sim.setInitialCondition(
+      [](const std::array<double, 3>& x, int_t, double* q9) { initWave(450.0, x, q9); });
+  const auto st = sim.run(0.3);
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->violations(), 0);
+  EXPECT_GT(probe->messagesSent(), 0u);
+  EXPECT_GT(st.messages, 0u);
+
+  std::size_t i = 0;
+  for (idx_t e = 0; e < f.mesh.numElements(); ++e) {
+    const double* q = sim.dofs(e);
+    for (int_t j = 0; j < 90; ++j, ++i) ASSERT_EQ(q[j], lock[i]) << "element " << e;
+  }
+}
+
+TEST(DistributedSim, MpiTransportWithoutBuildThrows) {
+  // Requesting --transport mpi on a stub build must fail at construction
+  // with the actionable makeMpiComm error, not deadlock or fall back.
+  if (npar::mpiSupport()) GTEST_SKIP() << "built with real MPI";
+  DistFixture f = makeFixture(3);
+  npar::DistConfig cfg = makeDistConfig();
+  cfg.transport = npar::Transport::kMpi;
+  EXPECT_THROW((npar::DistributedSimulation<double, 1>(
+                   f.mesh, f.mats, stripePartition(f.mesh, 2, 1000.0), cfg)),
+               std::runtime_error);
 }
 
 TEST(DistributedSim, EmptyRankThrows) {
