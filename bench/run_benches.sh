@@ -52,6 +52,9 @@ echo "== fig10_scaling (rank scaling + hybrid ranks x threads sweep) =="
 echo "== batch_throughput (ensemble setup amortization: independent vs memoized/fused) =="
 "$BUILD_DIR/batch_throughput"
 
+echo "== fig7_partitions (weighted vs unweighted partition imbalance + runtime A/B) =="
+"$BUILD_DIR/fig7_partitions"
+
 if [[ -x "$BUILD_DIR/kernel_micro" ]]; then
   echo "== kernel_micro (Sec. IV per-kernel throughput) =="
   # Writes BENCH_kernel.json by default (see the custom main in kernel_micro.cpp).

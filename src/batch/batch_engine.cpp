@@ -63,6 +63,7 @@ pre::PipelineConfig BatchEngine::groupPipelineConfig(const PlannedRun& pr) const
   p.autoLambda = gts ? false : cfg_.sim.autoLambda;
   p.lambda = cfg_.sim.lambda;
   p.numPartitions = 1; // the batch engine is a shared-memory driver
+  p.partitionWeighting = cfg_.sim.partitionWeighting;
   p.receivers.clear();
   for (idx_t i : pr.requests) {
     const ScenarioRequest& req = requests_[i];

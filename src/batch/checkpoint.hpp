@@ -42,7 +42,10 @@ namespace nglts::batch {
 
 /// Newest snapshot format this build writes; versions 1..kSnapshotVersion
 /// are readable (v1 files are inferred to be f64, see the header comment).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: the pipeline cache key grew `PipelineConfig::partitionWeighting`, so
+/// config fingerprints from older builds no longer match (the format of the
+/// state block itself is unchanged from v2).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Header of a snapshot file; `peekSnapshot` reads it without touching the
 /// (much larger) state block, so the batch driver can pick the fused width

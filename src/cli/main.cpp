@@ -44,6 +44,13 @@ void printUsage() {
       "      --precision P     arithmetic precision: f64 | f32 (default f64 for\n"
       "                        quickstart/loh3; fused/lahabra are f32-only; f32\n"
       "                        accuracy is misfit-gated, see docs/KERNELS.md)\n"
+      "      --executor M      chunk scheduling of the solver loops: static | dynamic\n"
+      "                        (default static; dynamic work-steals whole chunks,\n"
+      "                        halo-boundary chunks first; bitwise-identical results)\n"
+      "      --partition W     rank-partitioner weighting: weighted | unweighted\n"
+      "                        (default weighted = LTS update frequency + face-flux\n"
+      "                        share; affects rank balance only, results are\n"
+      "                        bitwise-identical to single-rank either way)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
@@ -146,6 +153,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--precision") {
       try {
         opts.precision = nglts::solver::parsePrecision(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
+    } else if (arg == "--executor") {
+      try {
+        opts.executor = nglts::solver::parseExecutorMode(requireValue(argc, argv, i));
+      } catch (const std::invalid_argument& e) {
+        usageError(e.what());
+      }
+    } else if (arg == "--partition") {
+      try {
+        opts.partition = nglts::partition::parsePartitionWeighting(requireValue(argc, argv, i));
       } catch (const std::invalid_argument& e) {
         usageError(e.what());
       }

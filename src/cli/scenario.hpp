@@ -71,6 +71,18 @@ struct ScenarioOptions {
   /// bitwise identity — see docs/KERNELS.md). The fused and lahabra
   /// scenarios are single-precision by design and reject an explicit f64.
   std::optional<solver::Precision> precision;
+  /// Chunk→thread scheduling of the solver loops (`SimConfig::executorMode`,
+  /// the `--executor` flag): `static` (chunk t on thread t, the bitwise
+  /// reference) or `dynamic` (work-stealing over an over-decomposed chunk
+  /// map, halo-boundary chunks first). Results are bitwise-identical across
+  /// modes and thread counts — a pure performance knob.
+  std::optional<solver::ExecutorMode> executor;
+  /// Dual-graph weighting of the rank partitioner
+  /// (`SimConfig::partitionWeighting`, the `--partition` flag): `weighted`
+  /// (LTS update frequency + face-flux share, the default) or `unweighted`
+  /// (plain element counts). Changes which elements land on which rank —
+  /// results stay bitwise-identical to single-rank either way.
+  std::optional<partition::PartitionWeighting> partition;
   /// Fixed cluster-growth control parameter lambda (>= 0); setting it
   /// disables the scenario's automatic lambda sweep (Sec. V-A).
   std::optional<double> lambda;

@@ -75,6 +75,13 @@ void appendKernelLine(std::string& out, const solver::SimConfig& cfg) {
   appendf(out, "kernel backend: %s\n",
           linalg::resolvedKernelBackendLabel(cfg.kernelBackend).c_str());
   appendf(out, "precision: %s\n", solver::precisionName(cfg.precision));
+  // Non-default scheduling knobs are worth a summary line (CI greps them to
+  // confirm the flag reached the engine); the defaults stay silent so
+  // existing summary expectations hold.
+  if (cfg.executorMode != solver::ExecutorMode::kStatic)
+    appendf(out, "executor: %s\n", solver::executorModeName(cfg.executorMode));
+  if (cfg.partitionWeighting != partition::PartitionWeighting::kWeighted)
+    appendf(out, "partition: %s\n", partition::partitionWeightingName(cfg.partitionWeighting));
 }
 
 /// Resolve the configured clustering (auto-lambda sweep pinned to a fixed
@@ -97,7 +104,7 @@ parallel::DistributedSimulation<Real, W> makeDistributed(
   const auto clustering = solver::resolveClustering(mesh, dtCfl, cfg);
   cfg.lambda = clustering.lambda;
   cfg.autoLambda = false;
-  const auto graph = partition::buildDualGraph(mesh, clustering);
+  const auto graph = partition::buildPartitionGraph(mesh, clustering, cfg.partitionWeighting);
   auto parts = partition::partitionGraph(graph, mesh, nRanks);
   parallel::DistConfig dcfg;
   dcfg.sim = cfg;
@@ -529,6 +536,7 @@ class LaHabraScenario final : public Scenario {
     pcfg.autoLambda = cfg.autoLambda && cfg.scheme != solver::TimeScheme::kGts;
     pcfg.lambda = cfg.lambda;
     pcfg.numPartitions = opts.ranks.value_or(kDefaultRanks);
+    pcfg.partitionWeighting = cfg.partitionWeighting;
 
     progressf(opts, "running preprocessing pipeline...\n");
     pre::PipelineResult pipe = pre::runPipeline(model, pcfg);
@@ -698,6 +706,8 @@ void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
   // build/host fails at config time (never a silent fallback mid-run).
   linalg::resolveKernelBackend(cfg.kernelBackend);
   if (opts.precision) cfg.precision = *opts.precision;
+  if (opts.executor) cfg.executorMode = *opts.executor;
+  if (opts.partition) cfg.partitionWeighting = *opts.partition;
   if (opts.lambda) {
     cfg.lambda = *opts.lambda;
     cfg.autoLambda = false;

@@ -12,7 +12,8 @@ double DualGraph::totalVertexWeight() const {
 
 namespace {
 
-DualGraph buildImpl(const mesh::TetMesh& mesh, const lts::Clustering* clustering) {
+DualGraph buildImpl(const mesh::TetMesh& mesh, const lts::Clustering* clustering,
+                    bool faceFluxTerm = false) {
   DualGraph g;
   g.numVertices = mesh.numElements();
   g.adjPtr.assign(g.numVertices + 1, 0);
@@ -21,7 +22,14 @@ DualGraph buildImpl(const mesh::TetMesh& mesh, const lts::Clustering* clustering
   const int_t nc = clustering ? clustering->numClusters : 1;
   for (idx_t e = 0; e < g.numVertices; ++e) {
     const int_t cl = clustering ? clustering->cluster[e] : 0;
-    g.vertexWeight[e] = static_cast<double>(lts::stepsPerCycle(nc, cl));
+    double w = static_cast<double>(lts::stepsPerCycle(nc, cl));
+    if (faceFluxTerm) {
+      int_t interiorFaces = 0;
+      for (int_t f = 0; f < 4; ++f)
+        if (mesh.faces[e][f].neighbor >= 0) ++interiorFaces;
+      w *= kAderCostShare + kFaceFluxCostShare * interiorFaces / 4.0;
+    }
+    g.vertexWeight[e] = w;
     for (int_t f = 0; f < 4; ++f)
       if (mesh.faces[e][f].neighbor >= 0) ++g.adjPtr[e + 1];
   }
@@ -61,5 +69,11 @@ DualGraph buildDualGraph(const mesh::TetMesh& mesh, const lts::Clustering& clust
 }
 
 DualGraph buildDualGraphUniform(const mesh::TetMesh& mesh) { return buildImpl(mesh, nullptr); }
+
+DualGraph buildPartitionGraph(const mesh::TetMesh& mesh, const lts::Clustering& clustering,
+                              PartitionWeighting weighting) {
+  if (weighting == PartitionWeighting::kUnweighted) return buildDualGraphUniform(mesh);
+  return buildImpl(mesh, &clustering, /*faceFluxTerm=*/true);
+}
 
 } // namespace nglts::partition

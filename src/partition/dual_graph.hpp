@@ -8,6 +8,7 @@
 #include "common/types.hpp"
 #include "lts/clustering.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "partition/weighting.hpp"
 
 namespace nglts::partition {
 
@@ -29,5 +30,23 @@ DualGraph buildDualGraph(const mesh::TetMesh& mesh, const lts::Clustering& clust
 
 /// Uniform-weight variant (GTS partitioning).
 DualGraph buildDualGraphUniform(const mesh::TetMesh& mesh);
+
+/// Share of an element update spent in the ADER predictor + volume/local
+/// phase vs. the per-face neighbor-flux phase — the cost model behind the
+/// face-flux vertex term of `buildPartitionGraph(kWeighted)`. A 4-face
+/// interior element splits 60/40; boundary faces contribute nothing, so
+/// surface elements weigh less than interior ones of the same cluster.
+inline constexpr double kAderCostShare = 0.6;
+inline constexpr double kFaceFluxCostShare = 0.4;
+
+/// Build the graph the rank partitioner balances, selected by `weighting`:
+///   kUnweighted -> `buildDualGraphUniform` (vertex/edge weights 1);
+///   kWeighted   -> LTS edge weights as in `buildDualGraph`, vertex weights
+///                  extended by the face-flux term
+///                    w(e) = stepsPerCycle(Nc, cl(e)) *
+///                           (kAderCostShare +
+///                            kFaceFluxCostShare * interiorFaces(e) / 4).
+DualGraph buildPartitionGraph(const mesh::TetMesh& mesh, const lts::Clustering& clustering,
+                              PartitionWeighting weighting);
 
 } // namespace nglts::partition

@@ -31,4 +31,12 @@ std::vector<std::vector<idx_t>> clusterHistogram(const PartitionResult& parts,
                                                  const std::vector<int_t>& cluster,
                                                  int_t numClusters);
 
+/// Max-over-average load of an existing assignment `part`, re-measured under
+/// `graph`'s vertex weights. This is how an *unweighted* partition is scored
+/// against the weighted LTS cost model (bench/fig7, weighted-partition
+/// tests): partitionGraph's own `imbalance` only reflects the weights it
+/// balanced. Returns 1.0 (perfect) when the total weight is zero.
+double measureImbalance(const DualGraph& graph, const std::vector<int_t>& part,
+                        int_t numParts);
+
 } // namespace nglts::partition

@@ -1,0 +1,36 @@
+#pragma once
+// Partition weighting mode — which dual-graph vertex/edge weights the k-way
+// partitioner balances (paper Sec. V-C). Lives in its own tiny header so
+// `solver::SimConfig` (the `--partition` CLI knob) and the partition layer
+// can share the enum without `config.hpp` pulling in mesh/clustering types.
+#include <stdexcept>
+#include <string>
+
+namespace nglts::partition {
+
+/// `kUnweighted` balances plain element counts (every vertex weight 1 —
+/// the GTS assumption); `kWeighted` balances the LTS cost model: update
+/// frequency 2^(Nc-1-cluster) per element times a face-flux share for the
+/// neighbor phase (dual_graph.hpp). On skewed cluster distributions the
+/// weighted partition trades element-count balance for *work* balance.
+enum class PartitionWeighting : int {
+  kUnweighted = 0,
+  kWeighted
+};
+
+/// Stable name of a weighting value: "unweighted" | "weighted"
+/// (CLI/bench/artifacts).
+inline const char* partitionWeightingName(PartitionWeighting w) {
+  return w == PartitionWeighting::kUnweighted ? "unweighted" : "weighted";
+}
+
+/// Inverse of `partitionWeightingName`; throws `std::invalid_argument` on
+/// anything else (the CLI's `--partition` error path).
+inline PartitionWeighting parsePartitionWeighting(const std::string& s) {
+  if (s == "unweighted") return PartitionWeighting::kUnweighted;
+  if (s == "weighted") return PartitionWeighting::kWeighted;
+  throw std::invalid_argument("unknown partition weighting '" + s +
+                              "' (expected unweighted | weighted)");
+}
+
+} // namespace nglts::partition

@@ -63,8 +63,8 @@ PipelineResult runPipeline(const seismo::VelocityModel& model, const PipelineCon
   }
   out.clustering = lts::buildClustering(mesh, out.dtCfl, cfg.numClusters, lambda);
 
-  // 4. Weighted partitioning over the dual graph.
-  const auto graph = partition::buildDualGraph(mesh, out.clustering);
+  // 4. Partitioning over the dual graph (weighting selected by config).
+  const auto graph = partition::buildPartitionGraph(mesh, out.clustering, cfg.partitionWeighting);
   out.parts = partition::partitionGraph(graph, mesh, cfg.numPartitions);
 
   // 5. Reorder by (partition, cluster, communication role).

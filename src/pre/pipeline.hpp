@@ -36,6 +36,11 @@ struct PipelineConfig {
   double lambda = 1.0;
   int_t numPartitions = 1;
   bool freeSurfaceTop = true;
+  /// Dual-graph weighting the partitioner balances (`--partition`):
+  /// weighted = LTS update frequencies + face-flux share (the default),
+  /// unweighted = plain element counts. Cache-relevant: different weightings
+  /// produce different partitions, reorderings and arena layouts.
+  partition::PartitionWeighting partitionWeighting = partition::PartitionWeighting::kWeighted;
   /// Receiver positions the caller binds *after* preprocessing. Receivers
   /// are passive observers: they never influence the mesh, materials,
   /// clustering or partition, so this field is deliberately EXCLUDED from

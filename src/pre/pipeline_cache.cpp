@@ -57,6 +57,7 @@ std::uint64_t pipelineCacheKey(const PipelineConfig& cfg, std::uint64_t modelKey
   // cfg.receivers deliberately NOT hashed: receivers are bound after
   // preprocessing and never influence the pipeline products.
   h.u64(modelKey);
+  h.i32(static_cast<std::int32_t>(cfg.partitionWeighting));
   return h.digest();
 }
 

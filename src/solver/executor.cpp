@@ -132,7 +132,43 @@ StepExecutor<Real, W>::StepExecutor(const SimConfig& cfg,
       policy_(policy ? std::move(policy)
                      : makeNeighborDataPolicy<Real, W>(cfg, state, kernels, clusterDt_)),
       nThreads_(checkedThreads(cfg.numThreads)),
-      pool_(kernels, state.stackSize(), nThreads_) {}
+      mode_(cfg.executorMode),
+      nChunks_(mode_ == ExecutorMode::kDynamic ? dynamicChunkCount(nThreads_) : nThreads_),
+      pool_(kernels, state.stackSize(), nChunks_) {}
+
+template <typename Real, int W>
+void StepExecutor<Real, W>::setHaloPriority(const std::vector<idx_t>& internalElems) {
+  haloPriority_.assign(static_cast<std::size_t>(state_.numElements()), 0);
+  for (idx_t el : internalElems) haloPriority_[el] = 1;
+}
+
+template <typename Real, int W>
+template <typename Fn>
+void StepExecutor<Real, W>::runChunksDynamic(idx_t begin, idx_t end,
+                                             const std::vector<idx_t>* elems, Fn&& fn) {
+  // Priority-ordered chunk sequence: chunks containing a halo-boundary
+  // element first, ascending chunk id within each class (a cheap byte scan
+  // with early exit — negligible next to the kernels behind `fn`). The
+  // order only steers *when* a chunk runs, never what it computes.
+  chunkOrder_.clear();
+  if (haloPriority_.empty()) {
+    for (int_t c = 0; c < nChunks_; ++c) chunkOrder_.push_back(c);
+  } else {
+    for (int_t pass = 0; pass < 2; ++pass)
+      for (int_t c = 0; c < nChunks_; ++c) {
+        const ChunkRange r = staticChunk(begin, end, nChunks_, c);
+        bool prio = false;
+        for (idx_t i = r.begin; i < r.end && !prio; ++i)
+          prio = haloPriority_[elems ? (*elems)[i] : i] != 0;
+        if (prio == (pass == 0)) chunkOrder_.push_back(c);
+      }
+  }
+  stealChunks(chunkOrder_, nThreads_, [&](int_t c) {
+    if (chunkDelayHook_) chunkDelayHook_(c);
+    const ChunkRange r = staticChunk(begin, end, nChunks_, c);
+    for (idx_t i = r.begin; i < r.end; ++i) fn(elems ? (*elems)[i] : i, c);
+  });
+}
 
 template <typename Real, int W>
 template <typename Fn>
@@ -141,25 +177,31 @@ void StepExecutor<Real, W>::parallelElements(int_t cluster, Fn&& fn) {
   // arena streaming of the reordered layout survives, and the element→chunk
   // map matches the first-touch pass of SolverState — thread t walks pages
   // it placed. The map depends only on (range, numThreads), so results are
-  // bitwise-identical for every thread count.
+  // bitwise-identical for every thread count. The dynamic mode uses the
+  // same pure map over more chunks and steals them whole — identical
+  // results, timing-dependent placement (threading.hpp).
   if (state_.contiguousClusters()) {
     const idx_t begin = state_.clusterBegin(cluster), end = state_.clusterEnd(cluster);
+    if (mode_ == ExecutorMode::kDynamic) {
+      runChunksDynamic(begin, end, nullptr, fn);
+      return;
+    }
     forEachChunk(nThreads_, [&](int_t t) {
       const ChunkRange c = staticChunk(begin, end, nThreads_, t);
       for (idx_t el = c.begin; el < c.end; ++el) fn(el, t);
     });
   } else {
-    const auto& elems = state_.clusterElems(cluster);
-    forEachChunk(nThreads_, [&](int_t t) {
-      const ChunkRange c = staticChunk(0, static_cast<idx_t>(elems.size()), nThreads_, t);
-      for (idx_t i = c.begin; i < c.end; ++i) fn(elems[i], t);
-    });
+    parallelElementList(state_.clusterElems(cluster), fn);
   }
 }
 
 template <typename Real, int W>
 template <typename Fn>
 void StepExecutor<Real, W>::parallelElementList(const std::vector<idx_t>& elems, Fn&& fn) {
+  if (mode_ == ExecutorMode::kDynamic) {
+    runChunksDynamic(0, static_cast<idx_t>(elems.size()), &elems, fn);
+    return;
+  }
   forEachChunk(nThreads_, [&](int_t t) {
     const ChunkRange c = staticChunk(0, static_cast<idx_t>(elems.size()), nThreads_, t);
     for (idx_t i = c.begin; i < c.end; ++i) fn(elems[i], t);

@@ -107,6 +107,13 @@ class Simulation {
   /// contract as `receiver()`.
   seismo::Receiver& receiverMut(idx_t i) { return hook_->mutableReceiver(i); }
 
+  /// Forward of `StepExecutor::setChunkDelayHook` — the dynamic-mode
+  /// differential tests inject randomized per-chunk delays to force
+  /// adversarial steal timings (no-op in static mode).
+  void setChunkDelayHook(std::function<void(int_t)> hook) {
+    executor_->setChunkDelayHook(std::move(hook));
+  }
+
   /// Pointwise solution sample (elastic quantities) for verification.
   std::array<double, kElasticVars> sample(idx_t element, const std::array<double, 3>& xi,
                                           int_t lane = 0) const;

@@ -122,10 +122,10 @@ TEST(Pipeline, OutputRunsInSolver) {
 
 TEST(PipelineCacheKey, GoldenValuesArePinned) {
   const npre::PipelineConfig def;
-  EXPECT_EQ(npre::pipelineCacheKey(def, 0), UINT64_C(10065731689030911341));
+  EXPECT_EQ(npre::pipelineCacheKey(def, 0), UINT64_C(14690384225954851564));
   EXPECT_EQ(npre::pipelineCacheKey(def, UINT64_C(0x9e3779b97f4a7c15)),
-            UINT64_C(9573061450917015164));
-  EXPECT_EQ(npre::pipelineCacheKey(smallConfig(), 0), UINT64_C(16296243681523017858));
+            UINT64_C(7696459131429183517));
+  EXPECT_EQ(npre::pipelineCacheKey(smallConfig(), 0), UINT64_C(10119409134230705891));
   EXPECT_EQ(npre::hashDouble(1.0), UINT64_C(5355952580483250426));
 }
 
@@ -158,6 +158,10 @@ TEST(PipelineCacheKey, EveryCacheRelevantFieldPerturbsTheKey) {
        }},
       {"numPartitions", [](auto& c) { c.numPartitions = 2; }},
       {"freeSurfaceTop", [](auto& c) { c.freeSurfaceTop = false; }},
+      {"partitionWeighting",
+       [](auto& c) {
+         c.partitionWeighting = nglts::partition::PartitionWeighting::kUnweighted;
+       }},
   };
 
   const npre::PipelineConfig base;

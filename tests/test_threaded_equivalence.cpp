@@ -10,7 +10,11 @@
 // the numThreads validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <numeric>
+#include <random>
 #include <tuple>
 
 #include "mesh/box_gen.hpp"
@@ -220,6 +224,62 @@ TEST(ThreadedConfig, RejectsNonPositiveThreadCounts) {
   EXPECT_THROW((ns::Simulation<double, 1>(f.mesh, f.mats, cfg)), std::invalid_argument);
   cfg.numThreads = 1;
   EXPECT_NO_THROW(ns::validateSimConfig(cfg));
+}
+
+TEST(ThreadedConfig, DynamicStealPermutesChunksButNeverSplitsOne) {
+  // Chunk-indivisibility property of the work-stealing scheduler: for random
+  // (range, numThreads) and a random priority order, `stealChunks` may run
+  // the chunks in any sequence, but every chunk id is delivered to `fn`
+  // exactly once (never split across threads, never run twice), every
+  // element of the range is covered exactly once, and a synthetic per-op
+  // flop count accumulated in per-chunk counters matches the serial sum
+  // exactly — the same argument that keeps the dynamic executor bitwise.
+  std::mt19937 rng(987654u);
+  for (int_t iter = 0; iter < 30; ++iter) {
+    const idx_t begin = static_cast<idx_t>(rng() % 64);
+    const idx_t n = static_cast<idx_t>(rng() % 1500);
+    const int_t threads = 1 + static_cast<int_t>(rng() % 16);
+    const int_t nChunks = ns::dynamicChunkCount(threads);
+    std::vector<int_t> order(nChunks);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    auto flopOf = [](idx_t el) {
+      return static_cast<std::uint64_t>(el) * 2654435761u + 17u;
+    };
+
+    std::vector<std::atomic<int>> runs(nChunks);
+    std::vector<std::atomic<int>> hits(n > 0 ? n : 1);
+    std::vector<std::uint64_t> chunkFlops(nChunks, 0); // written by the one owning thread
+    std::vector<int_t> execOrder(nChunks, -1);
+    std::atomic<int_t> execPos{0};
+
+    ns::stealChunks(order, threads, [&](int_t c) {
+      execOrder[execPos.fetch_add(1)] = c;
+      runs[c].fetch_add(1);
+      const ns::ChunkRange r = ns::staticChunk(begin, begin + n, nChunks, c);
+      for (idx_t el = r.begin; el < r.end; ++el) {
+        hits[el - begin].fetch_add(1);
+        chunkFlops[c] += flopOf(el);
+      }
+    });
+
+    for (int_t c = 0; c < nChunks; ++c)
+      ASSERT_EQ(runs[c].load(), 1) << "chunk " << c << " iter " << iter;
+    for (idx_t e = 0; e < n; ++e)
+      ASSERT_EQ(hits[e].load(), 1) << "element " << begin + e << " iter " << iter;
+    // Execution order is a permutation of the chunk ids (steals reorder,
+    // never drop or duplicate).
+    ASSERT_EQ(execPos.load(), nChunks);
+    std::vector<int_t> sortedExec = execOrder;
+    std::sort(sortedExec.begin(), sortedExec.end());
+    for (int_t c = 0; c < nChunks; ++c) ASSERT_EQ(sortedExec[c], c);
+    // Exact flop parity with the serial accumulation (uint64 sums commute).
+    std::uint64_t serial = 0, stolen = 0;
+    for (idx_t el = begin; el < begin + n; ++el) serial += flopOf(el);
+    for (std::uint64_t f : chunkFlops) stolen += f;
+    ASSERT_EQ(stolen, serial) << "iter " << iter;
+  }
 }
 
 TEST(ThreadedConfig, StaticChunkCoversRangeExactlyOnce) {
