@@ -7,6 +7,7 @@
 #include "batch/checkpoint.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "seismo/fault.hpp"
 #include "seismo/source.hpp"
 #include "solver/simulation.hpp"
 
@@ -181,11 +182,21 @@ bool BatchEngine::runPlanned(idx_t runIndex, std::uint64_t resumeCycles, bool lo
   for (int lane = 0; lane < W; ++lane)
     laneScale[static_cast<std::size_t>(lane)] =
         requests_[pr.requests[static_cast<std::size_t>(lane)]].sourceScale;
-  sim.addPointSource(
-      seismo::momentTensorSource(cfg_.sourcePosition, cfg_.sourceMoment,
-                                 std::make_shared<seismo::RickerWavelet>(cfg_.sourceFrequency,
-                                                                         cfg_.sourceDelay)),
-      laneScale);
+  if (pcfg.faultFile.empty()) {
+    sim.addPointSource(
+        seismo::momentTensorSource(cfg_.sourcePosition, cfg_.sourceMoment,
+                                   std::make_shared<seismo::RickerWavelet>(cfg_.sourceFrequency,
+                                                                           cfg_.sourceDelay)),
+        laneScale);
+  } else {
+    // Kinematic finite-fault override: every subfault is injected as a point
+    // source; the per-request sourceScale still scales each lane linearly.
+    // The file's content hash sits in the pipeline key (and therefore in the
+    // batch fingerprint), so an edited fault file invalidates snapshots.
+    const seismo::FiniteFault fault = seismo::parseFaultFile(pcfg.faultFile);
+    for (const seismo::PointSource& src : fault.pointSources())
+      sim.addPointSource(src, laneScale);
+  }
 
   std::vector<idx_t> recIdx(W);
   for (int lane = 0; lane < W; ++lane) {

@@ -45,7 +45,10 @@ namespace nglts::batch {
 /// v3: the pipeline cache key grew `PipelineConfig::partitionWeighting`, so
 /// config fingerprints from older builds no longer match (the format of the
 /// state block itself is unchanged from v2).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// v4: the pipeline cache key grew the scenario-ingestion content hashes
+/// (`meshContentHash`, `faultContentHash`) — again a pure fingerprint
+/// invalidation, the state block is unchanged.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Header of a snapshot file; `peekSnapshot` reads it without touching the
 /// (much larger) state block, so the batch driver can pick the fused width

@@ -53,6 +53,15 @@ void printUsage() {
       "                        bitwise-identical to single-rank either way)\n"
       "      --lambda X        fixed cluster-growth lambda (disables the auto sweep)\n"
       "      --scale S         mesh-resolution multiplier (default 1.0)\n"
+      "      --mesh-file F     run on an external Gmsh .msh 4.1 tet mesh instead of\n"
+      "                        the scenario's built-in mesh (supersedes --scale;\n"
+      "                        see ARCHITECTURE.md \"Scenario ingestion\")\n"
+      "      --fault-file F    kinematic finite-fault source file (subfault stanzas\n"
+      "                        with moment tensor, onset, sampled moment rate)\n"
+      "                        replacing the scenario's built-in point source\n"
+      "      --write-mesh F    export the mesh the scenario ran on as Gmsh .msh 4.1\n"
+      "                        (re-running it with --mesh-file reproduces the run\n"
+      "                        bitwise)\n"
       "      --output PREFIX   write CSV artifacts with this path prefix\n"
       "      --batch-manifest F  batch scenario: request manifest file (one request\n"
       "                        per line: id [source_scale [material_scale [dx dy dz]]])\n"
@@ -172,6 +181,12 @@ int main(int argc, char** argv) {
       opts.lambda = parseDouble(arg, requireValue(argc, argv, i));
     } else if (arg == "--scale") {
       opts.meshScale = parseDouble(arg, requireValue(argc, argv, i));
+    } else if (arg == "--mesh-file") {
+      opts.meshFile = requireValue(argc, argv, i);
+    } else if (arg == "--fault-file") {
+      opts.faultFile = requireValue(argc, argv, i);
+    } else if (arg == "--write-mesh") {
+      opts.writeMesh = requireValue(argc, argv, i);
     } else if (arg == "--output") {
       opts.outputPrefix = requireValue(argc, argv, i);
     } else if (arg == "--batch-manifest") {

@@ -15,6 +15,10 @@
 #include "parallel/comm.hpp"
 #include "solver/simulation.hpp"
 
+namespace nglts::pre {
+struct PipelineConfig;
+}
+
 namespace nglts::cli {
 
 /// Flag overrides applied on top of a scenario's built-in defaults. Every
@@ -90,6 +94,20 @@ struct ScenarioOptions {
   /// < 1 coarser (fast smoke runs), > 1 finer. Element count scales
   /// roughly with meshScale^3.
   double meshScale = 1.0;
+  /// External Gmsh `.msh` 4.1 tet mesh replacing the scenario's built-in
+  /// mesh (`--mesh-file`; subset in mesh/gmsh_io.hpp, format docs in
+  /// ARCHITECTURE.md "Scenario ingestion"). `meshScale` and the built-in
+  /// meshing rule are ignored when set.
+  std::string meshFile;
+  /// Kinematic finite-fault source file replacing the scenario's built-in
+  /// point source (`--fault-file`; format in seismo/fault.hpp). Receivers
+  /// stay the scenario's own.
+  std::string faultFile;
+  /// Export the mesh the scenario actually ran on as Gmsh `.msh` 4.1
+  /// (`--write-mesh`) — re-running with `--mesh-file` on the export
+  /// reproduces the run bitwise (the round-trip property the mesh-io tests
+  /// pin).
+  std::string writeMesh;
   /// Prefix for CSV artifacts (seismograms, ...); empty = write no files.
   std::string outputPrefix;
   /// Suppress per-scenario progress printing (the driver still prints the
@@ -124,6 +142,10 @@ struct ScenarioReport {
   /// Uniformly resampled x-velocity of lane 0 at the scenario's first
   /// receiver; empty for scenarios without receivers.
   std::vector<double> trace;
+  /// Elements per LTS cluster of the primary run (empty when the scenario
+  /// resolves no clustering up front, e.g. distributed quickstart). Tests
+  /// assert benchmark scenarios actually populate multiple clusters.
+  std::vector<idx_t> clusterHistogram;
   /// Human-readable multi-line result summary (always printed).
   std::string summary;
 };
@@ -172,7 +194,7 @@ class ScenarioRegistry {
   std::vector<std::unique_ptr<Scenario>> scenarios_;
 };
 
-/// Register the built-in scenarios (quickstart, loh3, lahabra, fused,
+/// Register the built-in scenarios (quickstart, loh1, loh3, lahabra, fused,
 /// batch) into the global registry. Idempotent — safe to call from multiple
 /// entry points (driver main, example wrappers, tests).
 void registerBuiltinScenarios();
@@ -187,6 +209,13 @@ std::unique_ptr<Scenario> makeBatchScenario();
 /// `defaultRanks` only feeds the `--threads` default.
 void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
                             int_t defaultRanks = 1);
+
+/// Fold `--mesh-file` / `--fault-file` into a pipeline config: the path plus
+/// its content hash (`pre::fileContentKey`), so the pipeline memoization key
+/// and the batch/checkpoint fingerprints stay content-addressed. No-op for
+/// unset options. Shared by the pipeline-driven scenarios (lahabra, loh1)
+/// and the batch scenario.
+void applyIngestionOverrides(pre::PipelineConfig& cfg, const ScenarioOptions& opts);
 
 /// Parse a `--scheme` value: "gts", "lts" (next-generation clustered LTS)
 /// or "baseline" (buffer+derivative scheme of [15]).

@@ -84,6 +84,10 @@ class BatchScenario final : public Scenario {
     // meshScale > 1 = finer: the edge-length bounds shrink accordingly.
     cfg.pipeline.minEdge /= opts.meshScale;
     cfg.pipeline.maxEdge /= opts.meshScale;
+    // --mesh-file/--fault-file: every request runs on the external mesh
+    // and/or kinematic source; the content hashes keep the memoized pipeline
+    // and the checkpoint fingerprint honest across file edits.
+    applyIngestionOverrides(cfg.pipeline, opts);
     cfg.checkpointEveryCycles = opts.checkpointEvery;
     cfg.checkpointPath = opts.checkpointFile;
     cfg.restore = opts.restore;

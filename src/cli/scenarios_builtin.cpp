@@ -16,11 +16,14 @@
 #include "lts/clustering.hpp"
 #include "mesh/box_gen.hpp"
 #include "mesh/geometry.hpp"
+#include "mesh/gmsh_io.hpp"
 #include "parallel/dist_sim.hpp"
 #include "partition/dual_graph.hpp"
 #include "partition/partitioner.hpp"
 #include "physics/attenuation.hpp"
 #include "pre/pipeline.hpp"
+#include "pre/pipeline_cache.hpp"
+#include "seismo/fault.hpp"
 #include "seismo/misfit.hpp"
 #include "seismo/receiver.hpp"
 #include "seismo/source.hpp"
@@ -159,6 +162,31 @@ idx_t scaledCells(idx_t base, double meshScale) {
   return std::max<idx_t>(2, static_cast<idx_t>(std::llround(base * meshScale)));
 }
 
+/// Resolve the scenario mesh: the built-in generator unless `--mesh-file`
+/// overrides it. `--write-mesh` exports whichever mesh won, so a generated
+/// box can be re-run byte-identically through the import path.
+template <typename Builtin>
+mesh::TetMesh resolveMesh(const ScenarioOptions& opts, Builtin&& builtin) {
+  mesh::TetMesh m = opts.meshFile.empty() ? builtin() : mesh::readGmshFile(opts.meshFile);
+  if (!opts.writeMesh.empty()) mesh::writeGmshFile(m, opts.writeMesh);
+  return m;
+}
+
+/// Add the scenario's sources: the subfaults of `--fault-file` when given,
+/// the scenario's built-in source otherwise. `laneScale` scales every
+/// injected fault source per fused lane (the built-in path applies its own
+/// lane scaling inside `builtin`).
+template <typename Sim, typename Builtin>
+void addConfiguredSources(Sim& sim, const ScenarioOptions& opts, Builtin&& builtin,
+                          const std::vector<double>& laneScale = {}) {
+  if (opts.faultFile.empty()) {
+    builtin(sim);
+    return;
+  }
+  const seismo::FiniteFault fault = seismo::parseFaultFile(opts.faultFile);
+  for (const seismo::PointSource& src : fault.pointSources()) sim.addPointSource(src, laneScale);
+}
+
 std::string perfLine(const solver::PerfStats& st) {
   std::string s;
   appendf(s, "%llu cycles (%.3f simulated s) in %.2f s wall — %.3g element updates/s, %.1f GFLOPS",
@@ -223,11 +251,14 @@ class QuickstartScenario final : public Scenario {
 
  private:
   template <typename Sim>
-  static void addSetup(Sim& sim) {
-    // A double-couple point source and a surface receiver.
-    auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
-    sim.addPointSource(
-        seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+  static void addSetup(Sim& sim, const ScenarioOptions& opts) {
+    // A double-couple point source (or the --fault-file subfaults) and a
+    // surface receiver.
+    addConfiguredSources(sim, opts, [](auto& s) {
+      auto stf = std::make_shared<seismo::RickerWavelet>(2.0, 0.6);
+      s.addPointSource(
+          seismo::momentTensorSource({500.0, 500.0, -400.0}, {0, 0, 0, 1e9, 0, 0}, stf));
+    });
     if (sim.addReceiver({800.0, 750.0, -20.0}) < 0)
       throw std::runtime_error("quickstart receiver outside mesh");
   }
@@ -239,14 +270,16 @@ class QuickstartScenario final : public Scenario {
     const int_t nRanks = opts.ranks.value_or(1);
 
     // A 1 km^3 box, ~100 m elements at scale 1, jittered, free surface on top.
-    mesh::BoxSpec spec;
-    const idx_t cells = scaledCells(10, opts.meshScale);
-    spec.planes[0] = mesh::uniformPlanes(0.0, 1000.0, cells);
-    spec.planes[1] = mesh::uniformPlanes(0.0, 1000.0, cells);
-    spec.planes[2] = mesh::uniformPlanes(-1000.0, 0.0, cells);
-    spec.jitter = 0.2;
-    spec.freeSurfaceTop = true;
-    mesh::TetMesh mesh = mesh::generateBox(spec);
+    mesh::TetMesh mesh = resolveMesh(opts, [&] {
+      mesh::BoxSpec spec;
+      const idx_t cells = scaledCells(10, opts.meshScale);
+      spec.planes[0] = mesh::uniformPlanes(0.0, 1000.0, cells);
+      spec.planes[1] = mesh::uniformPlanes(0.0, 1000.0, cells);
+      spec.planes[2] = mesh::uniformPlanes(-1000.0, 0.0, cells);
+      spec.jitter = 0.2;
+      spec.freeSurfaceTop = true;
+      return mesh::generateBox(spec);
+    });
     progressf(opts, "mesh: %lld tetrahedra\n", static_cast<long long>(mesh.numElements()));
 
     // A soft near-surface layer over stiffer rock (drives the clustering).
@@ -267,7 +300,7 @@ class QuickstartScenario final : public Scenario {
       auto sim = makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg,
                                           nRanks, opts);
       report.config = cfg;
-      addSetup(sim);
+      addSetup(sim, opts);
       progressf(opts, "running distributed on %lld ranks...\n",
                 static_cast<long long>(sim.ranks()));
       const auto st = sim.run(tEnd);
@@ -282,12 +315,13 @@ class QuickstartScenario final : public Scenario {
     } else {
       solver::Simulation<Real, W> sim(std::move(mesh), std::move(materials), cfg);
       report.config = sim.config();
+      report.clusterHistogram = sim.clustering().clusterSize;
       appendf(report.summary, "clusters:");
       for (idx_t n : sim.clustering().clusterSize)
         appendf(report.summary, " %lld", static_cast<long long>(n));
       appendf(report.summary, "  (lambda %.2f, theoretical speedup %.2fx)\n",
               sim.clustering().lambda, sim.clustering().theoreticalSpeedup);
-      addSetup(sim);
+      addSetup(sim, opts);
       report.stats = sim.run(tEnd);
       appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
       report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
@@ -340,35 +374,41 @@ class Loh3Scenario final : public Scenario {
   }
 
  private:
-  mesh::TetMesh makeMesh(double meshScale) const {
+  mesh::TetMesh makeMesh(const ScenarioOptions& opts) const {
     // Scaled-down LOH.3: 6 km x 6 km x 3 km domain, velocity-aware vertical
-    // grading across the 1 km layer interface.
-    mesh::BoxSpec spec;
-    const idx_t lateral = scaledCells(14, meshScale);
-    spec.planes[0] = mesh::uniformPlanes(0.0, 6000.0, lateral);
-    spec.planes[1] = mesh::uniformPlanes(0.0, 6000.0, lateral);
-    spec.planes[2] = mesh::gradedPlanes(-3000.0, 0.0, [&](double z) {
-      return (z > -1000.0 ? 260.0 : 450.0) / meshScale;
+    // grading across the 1 km layer interface (unless --mesh-file overrides).
+    return resolveMesh(opts, [&] {
+      mesh::BoxSpec spec;
+      const idx_t lateral = scaledCells(14, opts.meshScale);
+      spec.planes[0] = mesh::uniformPlanes(0.0, 6000.0, lateral);
+      spec.planes[1] = mesh::uniformPlanes(0.0, 6000.0, lateral);
+      spec.planes[2] = mesh::gradedPlanes(-3000.0, 0.0, [&](double z) {
+        return (z > -1000.0 ? 260.0 : 450.0) / opts.meshScale;
+      });
+      spec.jitter = 0.2;
+      spec.freeSurfaceTop = true;
+      return mesh::generateBox(spec);
     });
-    spec.jitter = 0.2;
-    spec.freeSurfaceTop = true;
-    return mesh::generateBox(spec);
   }
 
   template <typename Real, int W>
-  solver::Simulation<Real, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
-    mesh::TetMesh mesh = makeMesh(meshScale);
+  solver::Simulation<Real, W> makeSim(const solver::SimConfig& cfg,
+                                      const ScenarioOptions& opts) const {
+    mesh::TetMesh mesh = makeMesh(opts);
     const seismo::Loh3Model model(0.0);
     auto materials = seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
     return solver::Simulation<Real, W>(std::move(mesh), std::move(materials), cfg);
   }
 
   template <typename Sim>
-  static void addSetup(Sim& sim) {
-    // LOH-style source: M_xy double couple at 2 km depth, Brune moment rate.
-    auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
-    sim.addPointSource(
-        seismo::momentTensorSource({3000.0, 3000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
+  static void addSetup(Sim& sim, const ScenarioOptions& opts) {
+    // LOH-style source: M_xy double couple at 2 km depth, Brune moment rate
+    // (or the --fault-file subfaults).
+    addConfiguredSources(sim, opts, [](auto& s) {
+      auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
+      s.addPointSource(
+          seismo::momentTensorSource({3000.0, 3000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
+    });
     // The benchmark's "ninth receiver" direction, scaled into the domain.
     sim.addReceiver({4800.0, 4200.0, -20.0});
     sim.addReceiver({3900.0, 3600.0, -20.0});
@@ -383,27 +423,28 @@ class Loh3Scenario final : public Scenario {
     const double tEnd = opts.endTime.value_or(2.0);
     const int_t nRanks = opts.ranks.value_or(1);
 
-    auto gts = makeSim<Real, W>(gtsCfg, opts.meshScale);
-    addSetup(gts);
+    auto gts = makeSim<Real, W>(gtsCfg, opts);
+    addSetup(gts, opts);
     ScenarioReport report;
     appendKernelLine(report.summary, cfg);
     progressf(opts, "running GTS reference...\n");
     const auto sg = gts.run(tEnd);
 
     if (nRanks > 1) {
-      mesh::TetMesh mesh = makeMesh(opts.meshScale);
+      mesh::TetMesh mesh = makeMesh(opts);
       const seismo::Loh3Model model(0.0);
       auto materials =
           seismo::materialsForMesh(mesh, model, cfg.mechanisms, cfg.attenuationFreq);
       auto primary =
           makeDistributed<Real, W>(std::move(mesh), std::move(materials), cfg, nRanks, opts);
       report.config = cfg;
+      report.clusterHistogram = primary.clustering().clusterSize;
       appendf(report.summary,
               "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
               static_cast<long long>(gts.meshRef().numElements()),
               schemeName(cfg.scheme).c_str(), primary.clustering().lambda,
               primary.clustering().theoreticalSpeedup);
-      addSetup(primary);
+      addSetup(primary, opts);
       progressf(opts, "running distributed %s on %lld ranks...\n",
                 schemeName(cfg.scheme).c_str(), static_cast<long long>(primary.ranks()));
       const auto st = primary.run(tEnd);
@@ -419,13 +460,14 @@ class Loh3Scenario final : public Scenario {
       return report;
     }
 
-    auto primary = makeSim<Real, W>(cfg, opts.meshScale);
+    auto primary = makeSim<Real, W>(cfg, opts);
     report.config = primary.config();
+    report.clusterHistogram = primary.clustering().clusterSize;
     appendf(report.summary, "mesh: %lld elements; %s lambda %.2f, theoretical speedup %.2fx\n",
             static_cast<long long>(primary.meshRef().numElements()),
             schemeName(cfg.scheme).c_str(), primary.clustering().lambda,
             primary.clustering().theoreticalSpeedup);
-    addSetup(primary);
+    addSetup(primary, opts);
 
     progressf(opts, "running %s...\n", schemeName(cfg.scheme).c_str());
     report.stats = primary.run(tEnd);
@@ -465,6 +507,151 @@ class Loh3Scenario final : public Scenario {
       writeTraceCsv(path, uniformTimes(tEnd, samples), columns, header);
       appendf(report.summary, "wrote %s\n", path.c_str());
     }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// loh1 — SCEC LOH.1 elastic layer over halfspace through the pipeline
+// ---------------------------------------------------------------------------
+
+class Loh1Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "loh1"; }
+  std::string description() const override {
+    return "SCEC LOH.1 elastic layer-over-halfspace benchmark through the "
+           "preprocessing pipeline: kinematic source support, multi-cluster "
+           "LTS, golden-gated seismogram";
+  }
+
+  solver::SimConfig resolveConfig(const ScenarioOptions& opts) const override {
+    solver::SimConfig cfg;
+    cfg.order = 4;
+    cfg.mechanisms = 0; // LOH.1 is the elastic sibling of LOH.3
+    cfg.scheme = solver::TimeScheme::kLtsNextGen;
+    cfg.numClusters = 4;
+    cfg.autoLambda = true;
+    cfg.receiverSampleDt = 0.005;
+    applyOverrides(cfg, opts);
+    cfg.autoLambda = !opts.lambda && cfg.scheme != solver::TimeScheme::kGts;
+    resolveWidth(opts, 1, {1, 2}, "loh1");
+    return cfg;
+  }
+
+  ScenarioReport run(const ScenarioOptions& opts) const override {
+    const bool f32 = resolveConfig(opts).precision == solver::Precision::kF32;
+    switch (resolveWidth(opts, 1, {1, 2}, "loh1")) {
+      case 2: return f32 ? runW<float, 2>(opts) : runW<double, 2>(opts);
+      default: return f32 ? runW<float, 1>(opts) : runW<double, 1>(opts);
+    }
+  }
+
+ private:
+  /// LOH.1 structure: 1 km sediment layer (vp 4000, vs 2000, rho 2600) over
+  /// a stiff halfspace (vp 6000, vs 3464, rho 2700) — the same geometry as
+  /// LOH.3 but purely elastic (Q = infinity, mechanisms = 0 ignores it).
+  static seismo::LayeredModel model() {
+    return seismo::LayeredModel({{-1000.0, {2600.0, 4000.0, 2000.0, 1e30, 1e30}},
+                                 {-3000.0, {2700.0, 6000.0, 3464.0, 1e30, 1e30}}});
+  }
+
+  template <typename Sim>
+  static void addSources(Sim& sim, const ScenarioOptions& opts) {
+    // The benchmark's point double couple at 2 km depth (or --fault-file).
+    addConfiguredSources(sim, opts, [](auto& s) {
+      auto stf = std::make_shared<seismo::BrunePulse>(0.1, 1e16);
+      s.addPointSource(
+          seismo::momentTensorSource({3000.0, 3000.0, -2000.0}, {0, 0, 0, 1.0, 0, 0}, stf));
+    });
+  }
+
+  template <typename Real, int W>
+  ScenarioReport runW(const ScenarioOptions& opts) const {
+    solver::SimConfig cfg = resolveConfig(opts);
+    const double tEnd = opts.endTime.value_or(2.0);
+    const int_t nRanks = opts.ranks.value_or(1);
+
+    // Scaled-down LOH.1 domain (6 x 6 x 3 km) through the velocity-aware
+    // pipeline: the layer/halfspace vs contrast (2000 vs 3464) grades the
+    // mesh vertically, spreading the CFL steps across multiple rate-2
+    // clusters — a genuine LTS workload even at smoke-test scales.
+    pre::PipelineConfig pcfg;
+    pcfg.lo = {0.0, 0.0, -3000.0};
+    pcfg.hi = {6000.0, 6000.0, 0.0};
+    pcfg.maxFrequency = 1.0 * opts.meshScale;
+    pcfg.elementsPerWavelength = 2.0;
+    pcfg.minEdge = 200.0;
+    pcfg.maxEdge = 2500.0;
+    pcfg.jitter = 0.2;
+    pcfg.order = cfg.order;
+    pcfg.mechanisms = cfg.mechanisms;
+    pcfg.cfl = cfg.cfl;
+    pcfg.numClusters = cfg.numClusters;
+    pcfg.autoLambda = cfg.autoLambda;
+    pcfg.lambda = cfg.lambda;
+    pcfg.numPartitions = nRanks;
+    pcfg.partitionWeighting = cfg.partitionWeighting;
+    applyIngestionOverrides(pcfg, opts);
+
+    progressf(opts, "running preprocessing pipeline...\n");
+    pre::PipelineResult pipe = pre::runPipeline(model(), pcfg);
+    if (!opts.writeMesh.empty()) mesh::writeGmshFile(pipe.mesh, opts.writeMesh);
+
+    ScenarioReport report;
+    report.summary += pipe.summary();
+    report.summary += '\n';
+    appendKernelLine(report.summary, cfg);
+    report.clusterHistogram = pipe.clustering.clusterSize;
+    // Pin the swept lambda so the solver's internal re-resolution reproduces
+    // the pipeline clustering without re-running the sweep.
+    cfg.lambda = pipe.clustering.lambda;
+    cfg.autoLambda = false;
+
+    const std::array<double, 3> receiver = {4800.0, 4200.0, -20.0};
+    const idx_t samples = 201;
+    bool root = true;
+    if (nRanks > 1) {
+      parallel::DistConfig dcfg;
+      dcfg.sim = cfg;
+      dcfg.compressFaces = true;
+      dcfg.transport = opts.transport.value_or(parallel::Transport::kSeq);
+      dcfg.overlap = opts.overlap;
+      parallel::DistributedSimulation<Real, W> sim(pipe.mesh, pipe.materials, pipe.parts.part,
+                                                   dcfg);
+      report.config = cfg;
+      addSources(sim, opts);
+      sim.addReceiver(receiver);
+      progressf(opts, "running distributed %s on %lld ranks...\n",
+                schemeName(cfg.scheme).c_str(), static_cast<long long>(sim.ranks()));
+      const auto st = sim.run(tEnd);
+      sim.gatherReceivers();
+      root = sim.localRank() <= 0;
+      report.stats = toPerfStats(st);
+      appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
+      appendDistLine(report.summary, st, sim.ranks(), /*compressed=*/true, sim.transport(),
+                     opts.overlap);
+      if (root)
+        report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
+    } else {
+      solver::Simulation<Real, W> sim(pipe.mesh, pipe.materials, cfg);
+      report.config = sim.config();
+      addSources(sim, opts);
+      if (sim.addReceiver(receiver) < 0)
+        throw std::runtime_error("loh1 receiver outside mesh");
+      progressf(opts, "running %s...\n", schemeName(cfg.scheme).c_str());
+      report.stats = sim.run(tEnd);
+      appendf(report.summary, "%s\n", perfLine(report.stats).c_str());
+      report.trace = seismo::resample(sim.receiver(0).traces[0], kVelU, tEnd, samples);
+    }
+    double peak = 0.0;
+    for (double v : report.trace) peak = std::max(peak, std::fabs(v));
+    appendf(report.summary, "receiver vx peak: %.4e m/s over %.2f s\n", peak, tEnd);
+
+    if (!opts.outputPrefix.empty() && root) {
+      const std::string path = opts.outputPrefix + "loh1_seismogram.csv";
+      writeTraceCsv(path, uniformTimes(tEnd, samples), {report.trace}, "time,vx");
+      appendf(report.summary, "wrote %s\n", path.c_str());
+    }
+    return report;
   }
 };
 
@@ -537,13 +724,16 @@ class LaHabraScenario final : public Scenario {
     pcfg.lambda = cfg.lambda;
     pcfg.numPartitions = opts.ranks.value_or(kDefaultRanks);
     pcfg.partitionWeighting = cfg.partitionWeighting;
+    applyIngestionOverrides(pcfg, opts);
 
     progressf(opts, "running preprocessing pipeline...\n");
     pre::PipelineResult pipe = pre::runPipeline(model, pcfg);
+    if (!opts.writeMesh.empty()) mesh::writeGmshFile(pipe.mesh, opts.writeMesh);
     ScenarioReport report;
     report.config = cfg;
     report.config.lambda = pipe.clustering.lambda;
     report.config.autoLambda = false;
+    report.clusterHistogram = pipe.clustering.clusterSize;
     report.summary += pipe.summary();
     report.summary += '\n';
     appendKernelLine(report.summary, cfg);
@@ -562,6 +752,11 @@ class LaHabraScenario final : public Scenario {
                         (x[2] + 3000.0) * (x[2] + 3000.0);
       q9[kVelW] = std::exp(-r2 / 1.2e6);
     });
+    // Kinematic subfaults ride on top of the basin initial condition.
+    if (!opts.faultFile.empty()) {
+      const seismo::FiniteFault fault = seismo::parseFaultFile(opts.faultFile);
+      for (const seismo::PointSource& src : fault.pointSources()) sim.addPointSource(src);
+    }
     progressf(opts, "running distributed %s x%d simulation on %d ranks...\n",
               schemeName(cfg.scheme).c_str(), W, sim.ranks());
     const double tEnd = opts.endTime.value_or(6.0 * sim.cycleDt());
@@ -620,8 +815,7 @@ class FusedScenario final : public Scenario {
   }
 
  private:
-  template <int W>
-  solver::Simulation<float, W> makeSim(const solver::SimConfig& cfg, double meshScale) const {
+  static mesh::TetMesh makeBoxMesh(double meshScale) {
     mesh::BoxSpec spec;
     const idx_t cells = scaledCells(8, meshScale);
     spec.planes[0] = mesh::uniformPlanes(0.0, 2000.0, cells);
@@ -629,7 +823,13 @@ class FusedScenario final : public Scenario {
     spec.planes[2] = mesh::uniformPlanes(-2000.0, 0.0, cells);
     spec.jitter = 0.18;
     spec.freeSurfaceTop = true;
-    mesh::TetMesh mesh = mesh::generateBox(spec);
+    return mesh::generateBox(spec);
+  }
+
+  template <int W>
+  solver::Simulation<float, W> makeSim(const solver::SimConfig& cfg,
+                                       const ScenarioOptions& opts) const {
+    mesh::TetMesh mesh = resolveMesh(opts, [&] { return makeBoxMesh(opts.meshScale); });
     std::vector<physics::Material> mats(mesh.numElements());
     for (idx_t e = 0; e < mesh.numElements(); ++e) {
       const double vs = mesh.centroid(e)[2] > -500.0 ? 800.0 : 2400.0;
@@ -643,14 +843,21 @@ class FusedScenario final : public Scenario {
   ScenarioReport runW(const ScenarioOptions& opts) const {
     const solver::SimConfig cfg = resolveConfig(opts);
     const double tEnd = opts.endTime.value_or(3.0);
-    auto sim = makeSim<W>(cfg, opts.meshScale);
+    auto sim = makeSim<W>(cfg, opts);
 
-    // Ensemble of sources: one per lane, scaled 1..W.
+    // Ensemble of sources: one per lane, scaled 1..W (fault-file sources get
+    // the same per-lane scaling, so lane linearity still holds).
     std::vector<double> scales(W);
     for (int w = 0; w < W; ++w) scales[w] = 1.0 + w;
     auto stf = std::make_shared<seismo::RickerWavelet>(1.0, 1.2, 1e9);
-    sim.addPointSource(
-        seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1, 0, 0}, stf), scales);
+    addConfiguredSources(
+        sim, opts,
+        [&](auto& s) {
+          s.addPointSource(
+              seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1, 0, 0}, stf),
+              scales);
+        },
+        scales);
     const idx_t rec = sim.addReceiver({1600.0, 1500.0, -30.0});
     if (rec < 0) throw std::runtime_error("fused receiver outside mesh");
 
@@ -658,6 +865,7 @@ class FusedScenario final : public Scenario {
     ScenarioReport report;
     appendKernelLine(report.summary, cfg);
     report.config = sim.config();
+    report.clusterHistogram = sim.clustering().clusterSize;
     report.stats = sim.run(tEnd);
     appendf(report.summary, "fused x%d run: %s\n", W, perfLine(report.stats).c_str());
 
@@ -679,7 +887,7 @@ class FusedScenario final : public Scenario {
     if (W > 1) {
       solver::SimConfig singleCfg = cfg;
       singleCfg.sparseKernels = false;
-      auto single = makeSim<1>(singleCfg, opts.meshScale);
+      auto single = makeSim<1>(singleCfg, opts);
       single.addPointSource(
           seismo::momentTensorSource({1000.0, 1000.0, -800.0}, {0, 0, 0, 1e9, 0, 0}, stf));
       progressf(opts, "running single-simulation reference...\n");
@@ -736,10 +944,22 @@ void applyScenarioOverrides(solver::SimConfig& cfg, const ScenarioOptions& opts,
                                 " (--threads 0 is not a serial run; use --threads 1)");
 }
 
+void applyIngestionOverrides(pre::PipelineConfig& cfg, const ScenarioOptions& opts) {
+  if (!opts.meshFile.empty()) {
+    cfg.meshFile = opts.meshFile;
+    cfg.meshContentHash = pre::fileContentKey(opts.meshFile);
+  }
+  if (!opts.faultFile.empty()) {
+    cfg.faultFile = opts.faultFile;
+    cfg.faultContentHash = pre::fileContentKey(opts.faultFile);
+  }
+}
+
 void registerBuiltinScenarios() {
   static const bool registered = [] {
     auto& reg = ScenarioRegistry::instance();
     reg.add(std::make_unique<QuickstartScenario>());
+    reg.add(std::make_unique<Loh1Scenario>());
     reg.add(std::make_unique<Loh3Scenario>());
     reg.add(std::make_unique<LaHabraScenario>());
     reg.add(std::make_unique<FusedScenario>());

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "mesh/box_gen.hpp"
 #include "mesh/geometry.hpp"
+#include "mesh/gmsh_io.hpp"
 #include "partition/dual_graph.hpp"
 
 namespace nglts::pre {
@@ -41,13 +42,21 @@ std::vector<double> axisPlanes(const seismo::VelocityModel& model, const Pipelin
 PipelineResult runPipeline(const seismo::VelocityModel& model, const PipelineConfig& cfg) {
   PipelineResult out;
 
-  // 1. Velocity-aware mesh.
-  mesh::BoxSpec spec;
-  for (int_t a = 0; a < 3; ++a) spec.planes[a] = axisPlanes(model, cfg, a);
-  spec.jitter = cfg.jitter;
-  spec.freeSurfaceTop = cfg.freeSurfaceTop;
-  mesh::TetMesh mesh = mesh::generateBox(spec);
-  NGLTS_LOG_INFO << "pipeline: mesh with " << mesh.numElements() << " elements";
+  // 1. Velocity-aware mesh — or an external Gmsh import (`--mesh-file`),
+  // which replaces the meshing rule entirely (materials, CFL, clustering,
+  // partitioning and reordering below apply to either the same way).
+  mesh::TetMesh mesh;
+  if (cfg.meshFile.empty()) {
+    mesh::BoxSpec spec;
+    for (int_t a = 0; a < 3; ++a) spec.planes[a] = axisPlanes(model, cfg, a);
+    spec.jitter = cfg.jitter;
+    spec.freeSurfaceTop = cfg.freeSurfaceTop;
+    mesh = mesh::generateBox(spec);
+  } else {
+    mesh = mesh::readGmshFile(cfg.meshFile);
+  }
+  NGLTS_LOG_INFO << "pipeline: mesh with " << mesh.numElements() << " elements"
+                 << (cfg.meshFile.empty() ? "" : " (imported from " + cfg.meshFile + ")");
 
   // 2. Materials and CFL steps.
   std::vector<physics::Material> materials =

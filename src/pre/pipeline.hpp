@@ -4,6 +4,7 @@
 //   mesh -> per-element materials -> CFL steps -> clustering + lambda sweep
 //   -> dual-graph weights -> partitioning -> (partition, cluster, comm-role)
 //   reordering -> per-partition manifest.
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,22 @@ struct PipelineConfig {
   /// unweighted = plain element counts. Cache-relevant: different weightings
   /// produce different partitions, reorderings and arena layouts.
   partition::PartitionWeighting partitionWeighting = partition::PartitionWeighting::kWeighted;
+  /// External mesh ingestion (`--mesh-file`): when non-empty, step 1 of the
+  /// pipeline loads this Gmsh `.msh` 4.1 file (mesh/gmsh_io.hpp) instead of
+  /// generating the velocity-aware box; the meshing-rule fields above then
+  /// no longer shape the mesh. `meshContentHash` must be set to the FNV-1a
+  /// hash of the file bytes (`fileContentKey`, pipeline_cache.hpp) — the
+  /// memoization key is content-addressed, never path-addressed.
+  std::string meshFile;
+  std::uint64_t meshContentHash = 0;
+  /// Kinematic finite-fault source file (`--fault-file`, seismo/fault.hpp)
+  /// the caller binds after preprocessing. Like receivers, sources influence
+  /// no pipeline product — but unlike receivers the content hash IS folded
+  /// into the key: the key doubles as the checkpoint-fingerprint ingredient
+  /// (batch/checkpoint.hpp), and a changed kinematic source must invalidate
+  /// snapshots.
+  std::string faultFile;
+  std::uint64_t faultContentHash = 0;
   /// Receiver positions the caller binds *after* preprocessing. Receivers
   /// are passive observers: they never influence the mesh, materials,
   /// clustering or partition, so this field is deliberately EXCLUDED from

@@ -1,6 +1,8 @@
 #include "pre/pipeline_cache.hpp"
 
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 
 #include "common/log.hpp"
 
@@ -58,6 +60,22 @@ std::uint64_t pipelineCacheKey(const PipelineConfig& cfg, std::uint64_t modelKey
   // preprocessing and never influence the pipeline products.
   h.u64(modelKey);
   h.i32(static_cast<std::int32_t>(cfg.partitionWeighting));
+  // Scenario-ingestion content hashes (both 0 for built-in meshes/sources;
+  // see the PipelineConfig field docs). The mesh hash IS the mesh identity
+  // when an external .msh replaces the meshing rule; the fault hash shapes
+  // no pipeline product but must invalidate checkpoint fingerprints.
+  h.u64(cfg.meshContentHash);
+  h.u64(cfg.faultContentHash);
+  return h.digest();
+}
+
+std::uint64_t fileContentKey(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read '" + path + "' for content hashing");
+  ConfigHasher h;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0)
+    h.bytes(buf, static_cast<std::size_t>(in.gcount()));
   return h.digest();
 }
 

@@ -49,11 +49,18 @@ std::uint64_t hashDouble(double v);
 /// Content-hash of the cache-relevant `PipelineConfig` subset: domain
 /// extents, meshing rule (elements/wavelength, frequency, edge bounds,
 /// jitter), discretization (order, mechanisms, cfl), clustering
-/// (numClusters, autoLambda, lambda) and partitioning (numPartitions,
-/// freeSurfaceTop) — combined with `modelKey`, the caller's hash of the
-/// velocity-model parameters. `cfg.receivers` is excluded by design (see
-/// file comment).
+/// (numClusters, autoLambda, lambda), partitioning (numPartitions,
+/// freeSurfaceTop, partitionWeighting) and the scenario-ingestion content
+/// hashes (meshContentHash, faultContentHash) — combined with `modelKey`,
+/// the caller's hash of the velocity-model parameters. `cfg.receivers` is
+/// excluded by design (see file comment).
 std::uint64_t pipelineCacheKey(const PipelineConfig& cfg, std::uint64_t modelKey = 0);
+
+/// FNV-1a 64 over a file's raw bytes — the value callers put into
+/// `PipelineConfig::meshContentHash` / `faultContentHash`, keeping the cache
+/// key content-addressed (a renamed file hits, an edited file misses).
+/// Throws `std::invalid_argument` when the file cannot be read.
+std::uint64_t fileContentKey(const std::string& path);
 
 /// In-process memoization of `runPipeline` keyed on `pipelineCacheKey`.
 /// Results are immutable and shared; callers copy what they mutate (the

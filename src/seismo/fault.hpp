@@ -1,0 +1,52 @@
+#pragma once
+// Kinematic finite-fault sources: a rupture discretized into subfaults, each
+// a moment-tensor point source with its own onset time and sampled
+// moment-rate history (PiecewiseLinearStf). The subfaults are injected as
+// independent point sources through the existing source hook; the solver
+// superimposes them linearly.
+//
+// File format (`parseFault`), one stanza per subfault:
+//
+//   # comment (or blank line)
+//   subfault
+//   position x y z          # required
+//   moment mxx myy mzz mxy myz mxz   # required; Voigt order
+//   onset t                 # optional, default 0 [s]
+//   stf t v                 # >= 2 lines; t relative to onset, strictly
+//                           # increasing; v = moment rate, multiplies the
+//                           # moment tensor; zero outside the sampled range
+//
+// Every malformed line is rejected with a line-numbered
+// `std::invalid_argument` ("<source>:<line>: message"), mirroring the Gmsh
+// importer (mesh/gmsh_io.hpp) — a fault file is never ingested partially.
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seismo/source.hpp"
+
+namespace nglts::seismo {
+
+struct Subfault {
+  std::array<double, 3> position = {0.0, 0.0, 0.0};
+  std::array<double, 6> moment = {};          ///< Voigt xx, yy, zz, xy, yz, xz
+  double onset = 0.0;                         ///< rupture arrival time [s]
+  std::vector<std::array<double, 2>> stf;     ///< (t, moment rate), t relative to onset
+};
+
+struct FiniteFault {
+  std::vector<Subfault> subfaults;
+
+  /// One moment-tensor `PointSource` per subfault: weights from the moment
+  /// tensor, time history from `PiecewiseLinearStf(stf, onset)`.
+  std::vector<PointSource> pointSources() const;
+};
+
+/// Parse the stanza format above; `name` labels parse errors.
+FiniteFault parseFault(std::istream& in, const std::string& name = "<fault>");
+
+/// `parseFault` over a file; errors are prefixed with the path.
+FiniteFault parseFaultFile(const std::string& path);
+
+} // namespace nglts::seismo

@@ -1,7 +1,9 @@
 #include "seismo/source.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace nglts::seismo {
 
@@ -52,6 +54,45 @@ double BrunePulse::antiderivative(double t) const {
 }
 
 double BrunePulse::integral(double t0, double t1) const {
+  return antiderivative(t1) - antiderivative(t0);
+}
+
+PiecewiseLinearStf::PiecewiseLinearStf(const std::vector<std::array<double, 2>>& samples,
+                                       double timeShift) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("PiecewiseLinearStf needs at least 2 samples");
+  t_.reserve(samples.size());
+  v_.reserve(samples.size());
+  for (const auto& s : samples) {
+    t_.push_back(s[0] + timeShift);
+    v_.push_back(s[1]);
+  }
+  for (std::size_t i = 1; i < t_.size(); ++i)
+    if (!(t_[i] > t_[i - 1]))
+      throw std::invalid_argument("PiecewiseLinearStf sample times must be strictly increasing");
+  cum_.assign(t_.size(), 0.0);
+  for (std::size_t i = 1; i < t_.size(); ++i)
+    cum_[i] = cum_[i - 1] + 0.5 * (v_[i] + v_[i - 1]) * (t_[i] - t_[i - 1]);
+}
+
+double PiecewiseLinearStf::value(double t) const {
+  if (t < t_.front() || t > t_.back()) return 0.0;
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  if (it == t_.end()) return v_.back(); // t == t_.back()
+  const std::size_t i = static_cast<std::size_t>(it - t_.begin());
+  const double w = (t - t_[i - 1]) / (t_[i] - t_[i - 1]);
+  return v_[i - 1] + w * (v_[i] - v_[i - 1]);
+}
+
+double PiecewiseLinearStf::antiderivative(double t) const {
+  if (t <= t_.front()) return 0.0;
+  if (t >= t_.back()) return cum_.back();
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - t_.begin());
+  return cum_[i - 1] + 0.5 * (v_[i - 1] + value(t)) * (t - t_[i - 1]);
+}
+
+double PiecewiseLinearStf::integral(double t0, double t1) const {
   return antiderivative(t1) - antiderivative(t0);
 }
 

@@ -55,6 +55,27 @@ class BrunePulse final : public SourceTimeFunction {
   double antiderivative(double t) const;
 };
 
+/// Sampled moment-rate history: piecewise-linear between >= 2 strictly
+/// increasing sample times, zero outside the sampled range (kinematic
+/// finite-fault sources, seismo/fault.hpp). The trapezoid antiderivative is
+/// exact for the piecewise-linear interpolant, so the ADER integrals over
+/// arbitrary LTS intervals stay exact. `timeShift` translates the whole
+/// history (the subfault onset time).
+class PiecewiseLinearStf final : public SourceTimeFunction {
+ public:
+  /// Throws `std::invalid_argument` on fewer than 2 samples or
+  /// non-increasing sample times.
+  explicit PiecewiseLinearStf(const std::vector<std::array<double, 2>>& samples,
+                              double timeShift = 0.0);
+  double value(double t) const override;
+  double integral(double t0, double t1) const override;
+
+ private:
+  std::vector<double> t_, v_;
+  std::vector<double> cum_; ///< cum_[i] = exact integral over [t_[0], t_[i]]
+  double antiderivative(double t) const;
+};
+
 /// A point source injecting `weights[v] * stf(t) * delta(x - position)` into
 /// the right-hand side of quantity v.
 struct PointSource {

@@ -375,12 +375,13 @@ std::vector<char> downgradeToV1(std::vector<char> v2) {
 } // namespace
 
 TEST_F(SnapshotDamage, CurrentSnapshotIsV3F64) {
-  // v3 bumped only the semantic version (the pipeline cache key grew
-  // PipelineConfig::partitionWeighting); the header byte layout is
-  // unchanged from v2, which is why downgradeToV1 below still applies.
+  // v3/v4 bumped only the semantic version (the pipeline cache key grew
+  // PipelineConfig::partitionWeighting, then the external mesh/fault content
+  // hashes); the header byte layout is unchanged from v2, which is why
+  // downgradeToV1 below still applies.
   const nbatch::SnapshotInfo info = nbatch::peekSnapshot(path_);
   EXPECT_EQ(info.version, nbatch::kSnapshotVersion);
-  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.version, 4u);
   EXPECT_EQ(info.precision, nsol::Precision::kF64);
 }
 

@@ -22,7 +22,8 @@ nc::ScenarioRegistry& registry() {
 
 TEST(ScenarioRegistry, ListsAllBuiltinScenarios) {
   const auto names = registry().names();
-  const std::vector<std::string> expected = {"batch", "fused", "lahabra", "loh3", "quickstart"};
+  const std::vector<std::string> expected = {"batch",   "fused", "lahabra",
+                                             "loh1",    "loh3",  "quickstart"};
   EXPECT_EQ(names, expected);
   for (const auto& n : names) {
     const nc::Scenario* s = registry().find(n);

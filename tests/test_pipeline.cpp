@@ -122,10 +122,10 @@ TEST(Pipeline, OutputRunsInSolver) {
 
 TEST(PipelineCacheKey, GoldenValuesArePinned) {
   const npre::PipelineConfig def;
-  EXPECT_EQ(npre::pipelineCacheKey(def, 0), UINT64_C(14690384225954851564));
+  EXPECT_EQ(npre::pipelineCacheKey(def, 0), UINT64_C(17245360428562204140));
   EXPECT_EQ(npre::pipelineCacheKey(def, UINT64_C(0x9e3779b97f4a7c15)),
-            UINT64_C(7696459131429183517));
-  EXPECT_EQ(npre::pipelineCacheKey(smallConfig(), 0), UINT64_C(10119409134230705891));
+            UINT64_C(137924704827711325));
+  EXPECT_EQ(npre::pipelineCacheKey(smallConfig(), 0), UINT64_C(6780753511139514275));
   EXPECT_EQ(npre::hashDouble(1.0), UINT64_C(5355952580483250426));
 }
 
@@ -162,6 +162,11 @@ TEST(PipelineCacheKey, EveryCacheRelevantFieldPerturbsTheKey) {
        [](auto& c) {
          c.partitionWeighting = nglts::partition::PartitionWeighting::kUnweighted;
        }},
+      // External-file ingestion: the *content* hashes are cache-relevant
+      // (the path strings are deliberately not — moving a file must not
+      // invalidate, editing it must).
+      {"meshContentHash", [](auto& c) { c.meshContentHash = 1; }},
+      {"faultContentHash", [](auto& c) { c.faultContentHash = 1; }},
   };
 
   const npre::PipelineConfig base;

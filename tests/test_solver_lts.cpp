@@ -283,3 +283,40 @@ TEST(SolverLtsGolden, QuickstartGtsMatchesCommittedFixture) {
 TEST(SolverLtsGolden, QuickstartLtsMatchesCommittedFixture) {
   checkGoldenQuickstart(ns::TimeScheme::kLtsNextGen, "quickstart_lts.csv");
 }
+
+// SCEC LOH.1 (elastic layer-over-halfspace): the golden fixture pins the
+// scenario end to end — velocity-aware pipeline, clustered LTS, kinematic
+// source and receiver resampling. Regenerate with:
+//   nglts --scenario loh1 --order 3 --end-time 0.8 --lambda 0.9 \
+//         --output tests/golden/
+//   mv tests/golden/loh1_seismogram.csv tests/golden/loh1_lts.csv
+TEST(SolverLtsGolden, Loh1MatchesCommittedFixtureWithMultipleClusters) {
+  nglts::cli::registerBuiltinScenarios();
+  const nglts::cli::Scenario* s = nglts::cli::ScenarioRegistry::instance().find("loh1");
+  ASSERT_NE(s, nullptr);
+  nglts::cli::ScenarioOptions opts;
+  opts.order = 3;
+  opts.endTime = 0.8;
+  opts.lambda = 0.9;
+  opts.quiet = true;
+  const nglts::cli::ScenarioReport report = s->run(opts);
+
+  // The layer/halfspace vs contrast must grade the mesh into genuinely
+  // heterogeneous time steps: a single populated cluster would mean the
+  // benchmark degenerated into GTS and stopped exercising the LTS machinery.
+  int_t populated = 0;
+  for (idx_t size : report.clusterHistogram) populated += size > 0;
+  EXPECT_GE(populated, 2) << "LOH.1 must populate more than one LTS cluster";
+
+  const auto golden = readGoldenTrace(std::string(NGLTS_GOLDEN_DIR) + "/loh1_lts.csv");
+  ASSERT_FALSE(golden.empty()) << "missing golden fixture loh1_lts.csv";
+  ASSERT_EQ(report.trace.size(), golden.size());
+  double peak = 0.0;
+  for (double v : golden) peak = std::max(peak, std::fabs(v));
+  ASSERT_GT(peak, 0.0) << "golden trace must carry signal";
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    EXPECT_NEAR(report.trace[i], golden[i], 1e-9 * peak) << "sample " << i;
+  // Misfit gate on top of the per-sample pin: guards against coordinated
+  // drift that stays inside the pointwise tolerance.
+  EXPECT_LT(nsei::energyMisfit(report.trace, golden), 1e-12);
+}
